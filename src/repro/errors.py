@@ -1,0 +1,84 @@
+"""Exception hierarchy shared across the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can distinguish library failures from programming mistakes.  The
+solver substrate additionally distinguishes *solver-internal* failures
+(crashes that the fuzzing oracle must classify as bugs) from *input* failures
+(parse and type errors that merely mean the generated formula was invalid).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SmtLibError(ReproError):
+    """Base class for errors in the SMT-LIB front end."""
+
+
+class LexerError(SmtLibError):
+    """Raised when the input text cannot be tokenised."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SmtLibError):
+    """Raised when a token stream is not a well-formed SMT-LIB script."""
+
+
+class SortError(SmtLibError):
+    """Raised when a term is ill-sorted (type error in SMT-LIB terminology)."""
+
+
+class UnknownSymbolError(SmtLibError):
+    """Raised when a term references an undeclared symbol."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown symbol: {name}")
+        self.name = name
+
+
+class SolverError(ReproError):
+    """Base class for errors originating in the solver substrate."""
+
+
+class SolverInternalError(SolverError):
+    """An *internal* solver failure: assertion violation or segfault analogue.
+
+    These are exactly the failures the fuzzing oracle classifies as crash
+    bugs.  ``site`` identifies the internal code location that failed and is
+    used by crash de-duplication (crashes with the same site are one bug).
+    """
+
+    def __init__(self, message: str, site: str) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class SolverTimeoutError(SolverError):
+    """The solver exceeded its per-query budget."""
+
+
+class UnsupportedLogicError(SolverError):
+    """The formula uses a feature the solver does not implement."""
+
+
+class GeneratorError(ReproError):
+    """Raised when a synthesized term generator cannot be loaded or executed."""
+
+
+class LlmError(ReproError):
+    """Raised when an LLM backend cannot service a request."""
+
+
+class ReductionError(ReproError):
+    """Raised when delta reduction is asked to reduce a non-failing input."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is misconfigured."""

@@ -1,0 +1,177 @@
+"""Tokeniser for the SMT-LIB concrete syntax.
+
+The lexer understands the token classes needed by the fuzzing substrate:
+parentheses, symbols (simple and ``|quoted|``), keywords (``:named``),
+numerals, decimals, hexadecimal and binary literals, and string literals
+with SMT-LIB's doubled-quote escaping.  Comments (``;`` to end of line) are
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+from ..errors import LexerError
+
+
+class TokenKind(Enum):
+    """Lexical category of a token."""
+
+    LPAREN = auto()
+    RPAREN = auto()
+    SYMBOL = auto()
+    KEYWORD = auto()
+    NUMERAL = auto()
+    DECIMAL = auto()
+    HEXADECIMAL = auto()
+    BINARY = auto()
+    STRING = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+
+_SYMBOL_EXTRA = set("~!@$%^&*_-+=<>.?/")
+
+
+def _is_symbol_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _SYMBOL_EXTRA
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise ``text`` into a list of :class:`Token`.
+
+    Raises :class:`~repro.errors.LexerError` on malformed input (unterminated
+    strings or quoted symbols, stray characters).
+    """
+    return list(iter_tokens(text))
+
+
+def iter_tokens(text: str) -> Iterator[Token]:
+    """Yield tokens lazily; see :func:`tokenize`."""
+    pos = 0
+    line = 1
+    col = 1
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(count):
+            if pos < length and text[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < length:
+        ch = text[pos]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == ";":
+            while pos < length and text[pos] != "\n":
+                advance(1)
+            continue
+        start_line, start_col = line, col
+        if ch == "(":
+            advance(1)
+            yield Token(TokenKind.LPAREN, "(", start_line, start_col)
+            continue
+        if ch == ")":
+            advance(1)
+            yield Token(TokenKind.RPAREN, ")", start_line, start_col)
+            continue
+        if ch == '"':
+            end = pos + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise LexerError("unterminated string literal", start_line, start_col)
+                if text[end] == '"':
+                    if end + 1 < length and text[end + 1] == '"':
+                        chunks.append('"')
+                        end += 2
+                        continue
+                    break
+                chunks.append(text[end])
+                end += 1
+            literal = "".join(chunks)
+            advance(end + 1 - pos)
+            yield Token(TokenKind.STRING, literal, start_line, start_col)
+            continue
+        if ch == "|":
+            end = text.find("|", pos + 1)
+            if end == -1:
+                raise LexerError("unterminated quoted symbol", start_line, start_col)
+            name = text[pos + 1 : end]
+            advance(end + 1 - pos)
+            yield Token(TokenKind.SYMBOL, name, start_line, start_col)
+            continue
+        if ch == ":":
+            end = pos + 1
+            while end < length and _is_symbol_char(text[end]):
+                end += 1
+            word = text[pos:end]
+            advance(end - pos)
+            yield Token(TokenKind.KEYWORD, word, start_line, start_col)
+            continue
+        if ch == "#":
+            if pos + 1 < length and text[pos + 1] in "xX":
+                end = pos + 2
+                while end < length and text[end] in "0123456789abcdefABCDEF":
+                    end += 1
+                word = text[pos:end]
+                if len(word) <= 2:
+                    raise LexerError("malformed hexadecimal literal", start_line, start_col)
+                advance(end - pos)
+                yield Token(TokenKind.HEXADECIMAL, word, start_line, start_col)
+                continue
+            if pos + 1 < length and text[pos + 1] in "bB":
+                end = pos + 2
+                while end < length and text[end] in "01":
+                    end += 1
+                word = text[pos:end]
+                if len(word) <= 2:
+                    raise LexerError("malformed binary literal", start_line, start_col)
+                advance(end - pos)
+                yield Token(TokenKind.BINARY, word, start_line, start_col)
+                continue
+            raise LexerError(f"unexpected character {ch!r}", start_line, start_col)
+        if ch.isdigit():
+            end = pos
+            while end < length and text[end].isdigit():
+                end += 1
+            if end < length and text[end] == ".":
+                end += 1
+                while end < length and text[end].isdigit():
+                    end += 1
+                word = text[pos:end]
+                advance(end - pos)
+                yield Token(TokenKind.DECIMAL, word, start_line, start_col)
+                continue
+            word = text[pos:end]
+            advance(end - pos)
+            yield Token(TokenKind.NUMERAL, word, start_line, start_col)
+            continue
+        if _is_symbol_char(ch):
+            end = pos
+            while end < length and _is_symbol_char(text[end]):
+                end += 1
+            word = text[pos:end]
+            advance(end - pos)
+            yield Token(TokenKind.SYMBOL, word, start_line, start_col)
+            continue
+        raise LexerError(f"unexpected character {ch!r}", start_line, start_col)
+
+
+__all__ = ["Token", "TokenKind", "tokenize", "iter_tokens"]

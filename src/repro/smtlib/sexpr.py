@@ -1,0 +1,114 @@
+"""S-expression layer between the lexer and the SMT-LIB parser.
+
+The parser first builds generic s-expressions (nested Python lists whose
+leaves are :class:`Atom`) and then interprets them as commands and terms.
+Keeping this intermediate layer makes the skeletonizer, the delta reducer
+and the seed corpus generator much simpler: they can manipulate structure
+without committing to full sort checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from ..errors import ParseError
+from .lexer import Token, TokenKind, tokenize
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A leaf of an s-expression: the token text plus its lexical kind."""
+
+    text: str
+    kind: TokenKind
+
+    def __str__(self) -> str:
+        if self.kind == TokenKind.STRING:
+            return '"' + self.text.replace('"', '""') + '"'
+        return self.text
+
+    @property
+    def is_symbol(self) -> bool:
+        return self.kind == TokenKind.SYMBOL
+
+    @property
+    def is_numeral(self) -> bool:
+        return self.kind == TokenKind.NUMERAL
+
+
+SExpr = Union[Atom, list]
+
+
+def parse_sexprs(text: str) -> list[SExpr]:
+    """Parse ``text`` into a list of top-level s-expressions."""
+    tokens = tokenize(text)
+    expressions: list[SExpr] = []
+    index = 0
+    while index < len(tokens):
+        expr, index = _parse_one(tokens, index)
+        expressions.append(expr)
+    return expressions
+
+
+def _parse_one(tokens: list[Token], index: int) -> tuple[SExpr, int]:
+    if index >= len(tokens):
+        raise ParseError("unexpected end of input")
+    token = tokens[index]
+    if token.kind == TokenKind.LPAREN:
+        items: list[SExpr] = []
+        index += 1
+        while True:
+            if index >= len(tokens):
+                raise ParseError(f"unbalanced parenthesis opened at line {token.line}")
+            if tokens[index].kind == TokenKind.RPAREN:
+                return items, index + 1
+            item, index = _parse_one(tokens, index)
+            items.append(item)
+    if token.kind == TokenKind.RPAREN:
+        raise ParseError(f"unexpected ')' at line {token.line}, column {token.column}")
+    return Atom(token.text, token.kind), index + 1
+
+
+def sexpr_to_string(expr: SExpr) -> str:
+    """Render an s-expression back to concrete syntax."""
+    if isinstance(expr, Atom):
+        return str(expr)
+    return "(" + " ".join(sexpr_to_string(item) for item in expr) + ")"
+
+
+def sexprs_to_script(expressions: Iterable[SExpr]) -> str:
+    """Render a sequence of top-level s-expressions, one per line."""
+    return "\n".join(sexpr_to_string(expr) for expr in expressions)
+
+
+def symbol(name: str) -> Atom:
+    """Construct a symbol atom (convenience for structure-level rewriting)."""
+    return Atom(name, TokenKind.SYMBOL)
+
+
+def head_symbol(expr: SExpr) -> str:
+    """The leading symbol of a list s-expression, or '' when not applicable."""
+    if isinstance(expr, list) and expr and isinstance(expr[0], Atom):
+        return expr[0].text
+    return ""
+
+
+def strip_atoms(expr: SExpr):
+    """Convert an s-expression into plain Python lists/strings (lossy: string
+    literals lose their quoting kind).  Useful for quick structural checks."""
+    if isinstance(expr, Atom):
+        return expr.text
+    return [strip_atoms(item) for item in expr]
+
+
+__all__ = [
+    "Atom",
+    "SExpr",
+    "parse_sexprs",
+    "sexpr_to_string",
+    "sexprs_to_script",
+    "symbol",
+    "head_symbol",
+    "strip_atoms",
+]

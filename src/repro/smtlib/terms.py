@@ -1,0 +1,322 @@
+"""The SMT-LIB term AST.
+
+Terms are immutable trees.  Five node kinds cover everything the library
+needs:
+
+* :class:`Constant` — literals (numerals, decimals, string literals,
+  bit-vector literals, finite-field constants, ``true``/``false``) and
+  *qualified constants* such as ``(as seq.empty (Seq Int))``.
+* :class:`Symbol` — an occurrence of a declared function of arity zero
+  (an SMT-LIB "variable") or of a quantified/let-bound variable.
+* :class:`Apply` — application of an operator or declared function,
+  optionally with numeral indices (``(_ extract 3 0)``, ``(_ divisible 3)``).
+* :class:`Quantifier` — ``forall`` / ``exists`` with a list of bindings.
+* :class:`Let` — parallel ``let`` bindings.
+
+Every node knows its :class:`~repro.smtlib.sorts.Sort`.  Construction does
+not re-check well-sortedness; use :mod:`repro.smtlib.typecheck` for that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+from .sorts import BOOL, INT, REAL, STRING, Sort
+
+ConstantValue = Union[bool, int, Fraction, str]
+
+
+class Term:
+    """Base class of all term nodes."""
+
+    sort: Sort
+
+    # -- traversal ----------------------------------------------------------
+
+    def children(self) -> tuple["Term", ...]:
+        """Immediate sub-terms of this node."""
+        return ()
+
+    def walk(self) -> Iterator["Term"]:
+        """Yield this node and every descendant, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def size(self) -> int:
+        """Number of nodes in the term tree."""
+        return sum(1 for _ in self.walk())
+
+    def depth(self) -> int:
+        """Height of the term tree (a leaf has depth 1)."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.depth() for child in kids)
+
+    def free_symbols(self) -> dict[str, Sort]:
+        """Free :class:`Symbol` occurrences, name → sort.
+
+        Symbols bound by enclosing quantifiers or ``let`` bindings are not
+        reported.
+        """
+        result: dict[str, Sort] = {}
+        _collect_free_symbols(self, frozenset(), result)
+        return result
+
+    def operators(self) -> set[str]:
+        """The set of operator names applied anywhere inside the term."""
+        return {node.op for node in self.walk() if isinstance(node, Apply)}
+
+    # -- convenience --------------------------------------------------------
+
+    @property
+    def is_boolean(self) -> bool:
+        """True when the term has sort ``Bool``."""
+        return self.sort == BOOL
+
+    def __str__(self) -> str:
+        from .printer import term_to_smtlib
+
+        return term_to_smtlib(self)
+
+
+@dataclass(frozen=True)
+class Constant(Term):
+    """A literal constant, e.g. ``3``, ``1.5``, ``"abc"``, ``#b1010``, ``true``.
+
+    ``qualifier`` holds the symbolic name for qualified constants such as
+    ``(as seq.empty (Seq Int))`` (qualifier = ``"seq.empty"``) and finite
+    field literals ``(as ff3 (_ FiniteField 5))`` (qualifier = ``"ff3"``);
+    it is empty for plain literals.
+    """
+
+    value: ConstantValue
+    sort: Sort
+    qualifier: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sort == REAL and isinstance(self.value, int):
+            object.__setattr__(self, "value", Fraction(self.value))
+
+
+@dataclass(frozen=True)
+class Symbol(Term):
+    """An occurrence of a zero-arity function or a bound variable."""
+
+    name: str
+    sort: Sort
+
+
+@dataclass(frozen=True)
+class Apply(Term):
+    """Application ``(op arg1 ... argn)``; ``indices`` for ``(_ op i ...)``."""
+
+    op: str
+    args: tuple[Term, ...]
+    sort: Sort
+    indices: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+        object.__setattr__(self, "indices", tuple(int(i) for i in self.indices))
+
+    def children(self) -> tuple[Term, ...]:
+        return self.args
+
+
+@dataclass(frozen=True)
+class Quantifier(Term):
+    """A ``forall`` or ``exists`` term; ``bindings`` are (name, sort) pairs."""
+
+    kind: str
+    bindings: tuple[tuple[str, Sort], ...]
+    body: Term
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("forall", "exists"):
+            raise ValueError(f"unknown quantifier kind: {self.kind}")
+        object.__setattr__(self, "bindings", tuple((n, s) for n, s in self.bindings))
+
+    @property
+    def sort(self) -> Sort:  # type: ignore[override]
+        return BOOL
+
+    def children(self) -> tuple[Term, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Let(Term):
+    """A parallel ``let`` term; ``bindings`` are (name, term) pairs."""
+
+    bindings: tuple[tuple[str, Term], ...]
+    body: Term
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bindings", tuple((n, t) for n, t in self.bindings))
+
+    @property
+    def sort(self) -> Sort:  # type: ignore[override]
+        return self.body.sort
+
+    def children(self) -> tuple[Term, ...]:
+        return tuple(t for _, t in self.bindings) + (self.body,)
+
+
+# ---------------------------------------------------------------------------
+# Free-symbol collection and substitution.
+# ---------------------------------------------------------------------------
+
+
+def _collect_free_symbols(term: Term, bound: frozenset[str], out: dict[str, Sort]) -> None:
+    if isinstance(term, Symbol):
+        if term.name not in bound:
+            out.setdefault(term.name, term.sort)
+        return
+    if isinstance(term, Quantifier):
+        inner = bound | {name for name, _ in term.bindings}
+        _collect_free_symbols(term.body, inner, out)
+        return
+    if isinstance(term, Let):
+        for _, value in term.bindings:
+            _collect_free_symbols(value, bound, out)
+        inner = bound | {name for name, _ in term.bindings}
+        _collect_free_symbols(term.body, inner, out)
+        return
+    for child in term.children():
+        _collect_free_symbols(child, bound, out)
+
+
+def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
+    """Replace free symbols by name according to ``mapping``.
+
+    Bound occurrences (quantifier or ``let`` bindings) shadow the mapping.
+    """
+    return _substitute(term, dict(mapping))
+
+
+def _substitute(term: Term, mapping: dict[str, Term]) -> Term:
+    if not mapping:
+        return term
+    if isinstance(term, Constant):
+        return term
+    if isinstance(term, Symbol):
+        return mapping.get(term.name, term)
+    if isinstance(term, Apply):
+        new_args = tuple(_substitute(arg, mapping) for arg in term.args)
+        if new_args == term.args:
+            return term
+        return Apply(term.op, new_args, term.sort, term.indices)
+    if isinstance(term, Quantifier):
+        shadowed = {k: v for k, v in mapping.items() if k not in {n for n, _ in term.bindings}}
+        new_body = _substitute(term.body, shadowed)
+        if new_body is term.body:
+            return term
+        return Quantifier(term.kind, term.bindings, new_body)
+    if isinstance(term, Let):
+        new_bindings = tuple((name, _substitute(value, mapping)) for name, value in term.bindings)
+        shadowed = {k: v for k, v in mapping.items() if k not in {n for n, _ in term.bindings}}
+        new_body = _substitute(term.body, shadowed)
+        return Let(new_bindings, new_body)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def replace_subterm(term: Term, target: Term, replacement: Term) -> Term:
+    """Return ``term`` with the first occurrence of ``target`` (by identity or
+    equality) replaced by ``replacement``."""
+    replaced = [False]
+
+    def rewrite(node: Term) -> Term:
+        if not replaced[0] and (node is target or node == target):
+            replaced[0] = True
+            return replacement
+        if isinstance(node, Apply):
+            return Apply(node.op, tuple(rewrite(a) for a in node.args), node.sort, node.indices)
+        if isinstance(node, Quantifier):
+            return Quantifier(node.kind, node.bindings, rewrite(node.body))
+        if isinstance(node, Let):
+            return Let(tuple((n, rewrite(v)) for n, v in node.bindings), rewrite(node.body))
+        return node
+
+    return rewrite(term)
+
+
+# ---------------------------------------------------------------------------
+# Small constructors used pervasively in tests and generators.
+# ---------------------------------------------------------------------------
+
+TRUE = Constant(True, BOOL)
+FALSE = Constant(False, BOOL)
+
+
+def int_const(value: int) -> Constant:
+    """An ``Int`` numeral."""
+    return Constant(int(value), INT)
+
+
+def real_const(value: Union[int, float, Fraction]) -> Constant:
+    """A ``Real`` decimal (stored exactly as a :class:`~fractions.Fraction`)."""
+    return Constant(Fraction(value).limit_denominator(10**9), REAL)
+
+
+def string_const(value: str) -> Constant:
+    """A ``String`` literal."""
+    return Constant(str(value), STRING)
+
+
+def bool_const(value: bool) -> Constant:
+    """``true`` or ``false``."""
+    return TRUE if value else FALSE
+
+
+def bitvec_const(value: int, width: int) -> Constant:
+    """A bit-vector literal of the given width (value is reduced mod 2^width)."""
+    from .sorts import bitvec_sort
+
+    return Constant(int(value) % (1 << width), bitvec_sort(width))
+
+
+def ff_const(value: int, order: int) -> Constant:
+    """A finite-field literal ``(as ffK (_ FiniteField order))``."""
+    from .sorts import finite_field_sort
+
+    reduced = int(value) % order
+    return Constant(reduced, finite_field_sort(order), qualifier=f"ff{reduced}")
+
+
+def qualified_constant(name: str, sort: Sort) -> Constant:
+    """A qualified nullary constructor such as ``(as seq.empty (Seq Int))``."""
+    return Constant(0, sort, qualifier=name)
+
+
+def symbols(names: Sequence[str], sort: Sort) -> list[Symbol]:
+    """Declare a batch of same-sorted symbols (convenience for tests)."""
+    return [Symbol(name, sort) for name in names]
+
+
+__all__ = [
+    "Term",
+    "Constant",
+    "Symbol",
+    "Apply",
+    "Quantifier",
+    "Let",
+    "substitute",
+    "replace_subterm",
+    "TRUE",
+    "FALSE",
+    "int_const",
+    "real_const",
+    "string_const",
+    "bool_const",
+    "bitvec_const",
+    "ff_const",
+    "qualified_constant",
+    "symbols",
+    "ConstantValue",
+]
