@@ -1,0 +1,15 @@
+"""Reproduction library for conf_asplos_SunYZ26.
+
+Subpackages:
+
+* :mod:`repro.smtlib` — the SMT-LIB front end: lexer, s-expressions, sorts,
+  terms, script parser, type checker and round-trip printer.
+* :mod:`repro.errors` — the shared exception hierarchy.
+"""
+
+from . import errors
+from .errors import ReproError, SmtLibError, SolverError
+
+__version__ = "0.1.0"
+
+__all__ = ["errors", "ReproError", "SmtLibError", "SolverError", "__version__"]

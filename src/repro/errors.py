@@ -31,8 +31,21 @@ class ParseError(SmtLibError):
     """Raised when a token stream is not a well-formed SMT-LIB script."""
 
 
+class PrinterError(SmtLibError):
+    """Raised when a term or script cannot be rendered as SMT-LIB text."""
+
+
 class SortError(SmtLibError):
     """Raised when a term is ill-sorted (type error in SMT-LIB terminology)."""
+
+
+class TypeCheckError(SortError):
+    """Raised by the well-sortedness pass in :mod:`repro.smtlib.typecheck`.
+
+    A subclass of :class:`SortError` so existing ``except SortError`` call
+    sites keep working; the distinct name lets oracles report whether the
+    failure came from the dedicated checker or from ad-hoc sort plumbing.
+    """
 
 
 class UnknownSymbolError(SmtLibError):

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from enum import Enum, auto
 from typing import Iterator
 
-from ..errors import LexerError
+from ..errors import LexerError, PrinterError
 
 
 class TokenKind(Enum):
@@ -22,12 +22,35 @@ class TokenKind(Enum):
     LPAREN = auto()
     RPAREN = auto()
     SYMBOL = auto()
+    QUOTED_SYMBOL = auto()
     KEYWORD = auto()
     NUMERAL = auto()
     DECIMAL = auto()
     HEXADECIMAL = auto()
     BINARY = auto()
     STRING = auto()
+
+
+#: SMT-LIB reserved words.  These may only occur unquoted in their syntactic
+#: role (``let``, ``forall``...); a ``|let|`` spelling denotes an ordinary
+#: symbol that merely shares the letters, and lexes as QUOTED_SYMBOL.
+RESERVED_WORDS = frozenset(
+    {
+        "_",
+        "!",
+        "as",
+        "let",
+        "exists",
+        "forall",
+        "match",
+        "par",
+        "BINARY",
+        "DECIMAL",
+        "HEXADECIMAL",
+        "NUMERAL",
+        "STRING",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -41,10 +64,42 @@ class Token:
 
 
 _SYMBOL_EXTRA = set("~!@$%^&*_-+=<>.?/")
+_ASCII_DIGITS = set("0123456789")
+_ASCII_LETTERS = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+
+
+def _is_digit(ch: str) -> bool:
+    # ASCII only: SMT-LIB numerals do not include Unicode digits.
+    return ch in _ASCII_DIGITS
 
 
 def _is_symbol_char(ch: str) -> bool:
-    return ch.isalnum() or ch in _SYMBOL_EXTRA
+    # ASCII only, per the SMT-LIB simple-symbol grammar.
+    return ch in _ASCII_LETTERS or ch in _ASCII_DIGITS or ch in _SYMBOL_EXTRA
+
+
+def is_simple_symbol(text: str) -> bool:
+    """True when ``text`` lexes as a simple (unquoted) symbol.
+
+    The single source of truth for the simple-symbol character set — the
+    printer quotes exactly the symbols this predicate rejects, so lexer and
+    printer can never drift apart.  Reserved words are *not* rejected here;
+    they are simple symbols syntactically and callers that need to keep them
+    out of identifier position consult :data:`RESERVED_WORDS`.
+    """
+    return bool(text) and not _is_digit(text[0]) and all(_is_symbol_char(c) for c in text)
+
+
+def quote_identifier(name: str) -> str:
+    """Render an *identifier* occurrence of ``name``: bare when it is a
+    simple non-reserved symbol, ``|...|``-quoted otherwise (``|let|`` is an
+    ordinary symbol; bare ``let`` is the keyword).  Raises
+    :class:`~repro.errors.PrinterError` for names SMT-LIB cannot express."""
+    if is_simple_symbol(name) and name not in RESERVED_WORDS:
+        return name
+    if "|" in name or "\\" in name:
+        raise PrinterError(f"symbol cannot be quoted in SMT-LIB: {name!r}")
+    return f"|{name}|"
 
 
 def tokenize(text: str) -> list[Token]:
@@ -114,51 +169,74 @@ def iter_tokens(text: str) -> Iterator[Token]:
             if end == -1:
                 raise LexerError("unterminated quoted symbol", start_line, start_col)
             name = text[pos + 1 : end]
+            if "\\" in name:
+                raise LexerError("backslash not allowed in quoted symbol", start_line, start_col)
             advance(end + 1 - pos)
-            yield Token(TokenKind.SYMBOL, name, start_line, start_col)
+            # A quoted simple symbol denotes the same symbol as its unquoted
+            # spelling, so canonicalise to SYMBOL; reserved words and
+            # non-simple contents stay QUOTED_SYMBOL so the parser never
+            # mistakes |let| for the keyword.
+            if is_simple_symbol(name) and name not in RESERVED_WORDS:
+                yield Token(TokenKind.SYMBOL, name, start_line, start_col)
+            else:
+                yield Token(TokenKind.QUOTED_SYMBOL, name, start_line, start_col)
             continue
         if ch == ":":
             end = pos + 1
             while end < length and _is_symbol_char(text[end]):
                 end += 1
             word = text[pos:end]
+            if word == ":":
+                raise LexerError("keyword with empty name", start_line, start_col)
             advance(end - pos)
             yield Token(TokenKind.KEYWORD, word, start_line, start_col)
             continue
         if ch == "#":
-            if pos + 1 < length and text[pos + 1] in "xX":
+            if pos + 1 < length and text[pos + 1] == "x":
                 end = pos + 2
                 while end < length and text[end] in "0123456789abcdefABCDEF":
                     end += 1
                 word = text[pos:end]
                 if len(word) <= 2:
                     raise LexerError("malformed hexadecimal literal", start_line, start_col)
+                if end < length and _is_symbol_char(text[end]):
+                    raise LexerError("malformed hexadecimal literal", start_line, start_col)
                 advance(end - pos)
                 yield Token(TokenKind.HEXADECIMAL, word, start_line, start_col)
                 continue
-            if pos + 1 < length and text[pos + 1] in "bB":
+            if pos + 1 < length and text[pos + 1] == "b":
                 end = pos + 2
                 while end < length and text[end] in "01":
                     end += 1
                 word = text[pos:end]
                 if len(word) <= 2:
                     raise LexerError("malformed binary literal", start_line, start_col)
+                if end < length and _is_symbol_char(text[end]):
+                    raise LexerError("malformed binary literal", start_line, start_col)
                 advance(end - pos)
                 yield Token(TokenKind.BINARY, word, start_line, start_col)
                 continue
             raise LexerError(f"unexpected character {ch!r}", start_line, start_col)
-        if ch.isdigit():
+        if _is_digit(ch):
             end = pos
-            while end < length and text[end].isdigit():
+            while end < length and _is_digit(text[end]):
                 end += 1
+            if ch == "0" and end - pos > 1:
+                raise LexerError("numeral with leading zero", start_line, start_col)
             if end < length and text[end] == ".":
                 end += 1
-                while end < length and text[end].isdigit():
+                if end >= length or not _is_digit(text[end]):
+                    raise LexerError("malformed decimal literal (no digits after '.')", start_line, start_col)
+                while end < length and _is_digit(text[end]):
                     end += 1
+                if end < length and _is_symbol_char(text[end]):
+                    raise LexerError("malformed decimal literal", start_line, start_col)
                 word = text[pos:end]
                 advance(end - pos)
                 yield Token(TokenKind.DECIMAL, word, start_line, start_col)
                 continue
+            if end < length and _is_symbol_char(text[end]):
+                raise LexerError("numeral followed by symbol character", start_line, start_col)
             word = text[pos:end]
             advance(end - pos)
             yield Token(TokenKind.NUMERAL, word, start_line, start_col)
@@ -174,4 +252,12 @@ def iter_tokens(text: str) -> Iterator[Token]:
         raise LexerError(f"unexpected character {ch!r}", start_line, start_col)
 
 
-__all__ = ["Token", "TokenKind", "tokenize", "iter_tokens"]
+__all__ = [
+    "Token",
+    "TokenKind",
+    "RESERVED_WORDS",
+    "tokenize",
+    "iter_tokens",
+    "is_simple_symbol",
+    "quote_identifier",
+]

@@ -1,0 +1,197 @@
+"""Deterministic SMT-LIB concrete syntax for sorts, terms and scripts.
+
+The printer is the inverse of :mod:`repro.smtlib.parser` and satisfies the
+round-trip law the reduction and generation layers rely on: for any parsed
+script ``s``, ``parse_script(script_to_smtlib(s)) == s``.  Two printing
+choices keep that law simple:
+
+* Bit-vector constants print as ``#x...`` when the width is a multiple of
+  four and as ``#b...`` otherwise — both reparse to the identical constant.
+* Negative ``Int``/``Real`` constants print as applications ``(- n)``
+  (SMT-LIB has no negative literals).  The parser produces non-negative
+  constants only, so parsed terms always round-trip exactly; terms built
+  programmatically with negative literals round-trip to the equivalent
+  negation application.  Likewise a ``Real`` whose value has no finite
+  decimal expansion prints as ``(/ p.0 q.0)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .lexer import quote_identifier
+from .sorts import BOOL, INT, REAL, STRING, Sort, is_bitvec
+from .terms import Apply, Constant, Let, Quantifier, Symbol, Term
+
+
+def symbol_to_smtlib(name: str) -> str:
+    """Render an *identifier*, quoting with ``|...|`` when it is not simple
+    or is a reserved word (``|let|`` is an ordinary symbol; bare ``let`` is
+    the keyword).  Raises :class:`~repro.errors.PrinterError` for names
+    SMT-LIB cannot express (alias of :func:`repro.smtlib.lexer.quote_identifier`)."""
+    return quote_identifier(name)
+
+
+def sort_to_smtlib(sort: Sort) -> str:
+    """Render a sort (delegates to :meth:`Sort.to_smtlib`)."""
+    return sort.to_smtlib()
+
+
+# ---------------------------------------------------------------------------
+# Constants.
+# ---------------------------------------------------------------------------
+
+
+def _decimal_text(value: Fraction) -> str:
+    """Finite decimal for a non-negative fraction, or '' when none exists."""
+    denominator = value.denominator
+    twos = fives = 0
+    while denominator % 2 == 0:
+        denominator //= 2
+        twos += 1
+    while denominator % 5 == 0:
+        denominator //= 5
+        fives += 1
+    if denominator != 1:
+        return ""
+    places = max(twos, fives)
+    scaled = value.numerator * 10**places // value.denominator
+    if places == 0:
+        return f"{scaled}.0"
+    digits = str(scaled).rjust(places + 1, "0")
+    return f"{digits[:-places]}.{digits[-places:]}"
+
+
+def constant_to_smtlib(constant: Constant) -> str:
+    sort, value = constant.sort, constant.value
+    if constant.qualifier:
+        return f"(as {symbol_to_smtlib(constant.qualifier)} {sort.to_smtlib()})"
+    if sort == BOOL:
+        return "true" if value else "false"
+    if sort == INT:
+        return str(value) if value >= 0 else f"(- {-value})"
+    if sort == REAL:
+        fraction = Fraction(value)
+        sign = fraction < 0
+        text = _decimal_text(abs(fraction))
+        if not text:
+            text = f"(/ {abs(fraction.numerator)}.0 {fraction.denominator}.0)"
+        return f"(- {text})" if sign else text
+    if sort == STRING:
+        return '"' + str(value).replace('"', '""') + '"'
+    if is_bitvec(sort):
+        width = sort.width
+        if width % 4 == 0:
+            return "#x{:0{}x}".format(value, width // 4)
+        return "#b{:0{}b}".format(value, width)
+    raise ValueError(f"cannot print constant of sort {sort}: {constant!r}")
+
+
+# ---------------------------------------------------------------------------
+# Terms.
+# ---------------------------------------------------------------------------
+
+
+def term_to_smtlib(term: Term) -> str:
+    """Render a term in concrete SMT-LIB syntax."""
+    if isinstance(term, Constant):
+        return constant_to_smtlib(term)
+    if isinstance(term, Symbol):
+        return symbol_to_smtlib(term.name)
+    if isinstance(term, Apply):
+        head = symbol_to_smtlib(term.op)
+        if term.indices:
+            head = "(_ {} {})".format(head, " ".join(str(i) for i in term.indices))
+        if not term.args:
+            return f"({head})"
+        return "({} {})".format(head, " ".join(term_to_smtlib(a) for a in term.args))
+    if isinstance(term, Quantifier):
+        bindings = " ".join(
+            f"({symbol_to_smtlib(name)} {sort.to_smtlib()})" for name, sort in term.bindings
+        )
+        return f"({term.kind} ({bindings}) {term_to_smtlib(term.body)})"
+    if isinstance(term, Let):
+        bindings = " ".join(
+            f"({symbol_to_smtlib(name)} {term_to_smtlib(value)})" for name, value in term.bindings
+        )
+        return f"(let ({bindings}) {term_to_smtlib(term.body)})"
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+# ---------------------------------------------------------------------------
+# Commands and scripts.
+# ---------------------------------------------------------------------------
+
+
+def command_to_smtlib(command) -> str:
+    """Render one command in concrete SMT-LIB syntax."""
+    from .script import (
+        Assert,
+        CheckSat,
+        DeclareConst,
+        DeclareFun,
+        DeclareSort,
+        DefineFun,
+        Exit,
+        GetModel,
+        Pop,
+        Push,
+        SetInfo,
+        SetLogic,
+        SetOption,
+    )
+
+    if isinstance(command, SetLogic):
+        return f"(set-logic {symbol_to_smtlib(command.logic)})"
+    if isinstance(command, SetOption):
+        return f"(set-option {command.keyword} {command.value})"
+    if isinstance(command, SetInfo):
+        return f"(set-info {command.keyword} {command.value})"
+    if isinstance(command, DeclareSort):
+        return f"(declare-sort {symbol_to_smtlib(command.name)} {command.arity})"
+    if isinstance(command, DeclareFun):
+        params = " ".join(sort.to_smtlib() for sort in command.params)
+        return "(declare-fun {} ({}) {})".format(
+            symbol_to_smtlib(command.name), params, command.result.to_smtlib()
+        )
+    if isinstance(command, DeclareConst):
+        return f"(declare-const {symbol_to_smtlib(command.name)} {command.sort.to_smtlib()})"
+    if isinstance(command, DefineFun):
+        params = " ".join(
+            f"({symbol_to_smtlib(name)} {sort.to_smtlib()})" for name, sort in command.params
+        )
+        return "(define-fun {} ({}) {} {})".format(
+            symbol_to_smtlib(command.name),
+            params,
+            command.result.to_smtlib(),
+            term_to_smtlib(command.body),
+        )
+    if isinstance(command, Assert):
+        return f"(assert {term_to_smtlib(command.term)})"
+    if isinstance(command, CheckSat):
+        return "(check-sat)"
+    if isinstance(command, GetModel):
+        return "(get-model)"
+    if isinstance(command, Push):
+        return f"(push {command.levels})"
+    if isinstance(command, Pop):
+        return f"(pop {command.levels})"
+    if isinstance(command, Exit):
+        return "(exit)"
+    raise TypeError(f"unknown command: {command!r}")
+
+
+def script_to_smtlib(script) -> str:
+    """Render a whole script, one command per line, with trailing newline."""
+    lines = [command_to_smtlib(command) for command in script.commands]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+__all__ = [
+    "symbol_to_smtlib",
+    "sort_to_smtlib",
+    "constant_to_smtlib",
+    "term_to_smtlib",
+    "command_to_smtlib",
+    "script_to_smtlib",
+]

@@ -13,7 +13,18 @@ from dataclasses import dataclass
 from typing import Iterable, Union
 
 from ..errors import ParseError
-from .lexer import Token, TokenKind, tokenize
+from .lexer import Token, TokenKind, is_simple_symbol, quote_identifier, tokenize
+
+
+def format_symbol(name: str) -> str:
+    """Render a plain-symbol occurrence: bare when simple (including the
+    reserved words, which legitimately appear as plain SYMBOL atoms in
+    keyword position), ``|...|``-quoted otherwise.  Raises
+    :class:`~repro.errors.PrinterError` for names SMT-LIB cannot express
+    (containing ``|`` or ``\\``)."""
+    if is_simple_symbol(name):
+        return name
+    return quote_identifier(name)
 
 
 @dataclass(frozen=True)
@@ -26,10 +37,21 @@ class Atom:
     def __str__(self) -> str:
         if self.kind == TokenKind.STRING:
             return '"' + self.text.replace('"', '""') + '"'
+        if self.kind == TokenKind.QUOTED_SYMBOL:
+            return f"|{self.text}|"
+        if self.kind == TokenKind.SYMBOL:
+            return format_symbol(self.text)
         return self.text
 
     @property
     def is_symbol(self) -> bool:
+        """True for symbols in either spelling (plain or ``|quoted|``)."""
+        return self.kind in (TokenKind.SYMBOL, TokenKind.QUOTED_SYMBOL)
+
+    @property
+    def is_plain_symbol(self) -> bool:
+        """True only for unquoted symbols — the spellings that can carry
+        syntactic roles such as ``let`` or ``_`` in head position."""
         return self.kind == TokenKind.SYMBOL
 
     @property
@@ -103,6 +125,7 @@ def strip_atoms(expr: SExpr):
 
 
 __all__ = [
+    "format_symbol",
     "Atom",
     "SExpr",
     "parse_sexprs",

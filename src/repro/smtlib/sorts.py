@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from .lexer import quote_identifier
+
 
 @dataclass(frozen=True)
 class Sort:
@@ -61,10 +63,13 @@ class Sort:
     # -- rendering ----------------------------------------------------------
 
     def to_smtlib(self) -> str:
-        """Render the sort in concrete SMT-LIB syntax."""
-        head = self.name
+        """Render the sort in concrete SMT-LIB syntax.
+
+        Declared sort names that are not simple symbols (or collide with
+        reserved words) are ``|...|``-quoted, like any other identifier."""
+        head = quote_identifier(self.name)
         if self.indices:
-            head = "(_ {} {})".format(self.name, " ".join(str(i) for i in self.indices))
+            head = "(_ {} {})".format(head, " ".join(str(i) for i in self.indices))
         if not self.args:
             return head
         return "({} {})".format(head, " ".join(a.to_smtlib() for a in self.args))

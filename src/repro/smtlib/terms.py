@@ -228,7 +228,12 @@ def _substitute(term: Term, mapping: dict[str, Term]) -> Term:
 
 def replace_subterm(term: Term, target: Term, replacement: Term) -> Term:
     """Return ``term`` with the first occurrence of ``target`` (by identity or
-    equality) replaced by ``replacement``."""
+    equality) replaced by ``replacement``.
+
+    Structure-sharing: any node whose descendants are all unchanged is
+    returned as-is (``is``-identical), so untouched siblings of the replaced
+    occurrence never get rebuilt.
+    """
     replaced = [False]
 
     def rewrite(node: Term) -> Term:
@@ -236,11 +241,23 @@ def replace_subterm(term: Term, target: Term, replacement: Term) -> Term:
             replaced[0] = True
             return replacement
         if isinstance(node, Apply):
-            return Apply(node.op, tuple(rewrite(a) for a in node.args), node.sort, node.indices)
+            new_args = tuple(rewrite(a) for a in node.args)
+            if all(new is old for new, old in zip(new_args, node.args)):
+                return node
+            return Apply(node.op, new_args, node.sort, node.indices)
         if isinstance(node, Quantifier):
-            return Quantifier(node.kind, node.bindings, rewrite(node.body))
+            new_body = rewrite(node.body)
+            if new_body is node.body:
+                return node
+            return Quantifier(node.kind, node.bindings, new_body)
         if isinstance(node, Let):
-            return Let(tuple((n, rewrite(v)) for n, v in node.bindings), rewrite(node.body))
+            new_bindings = tuple((n, rewrite(v)) for n, v in node.bindings)
+            new_body = rewrite(node.body)
+            if new_body is node.body and all(
+                new is old for (_, new), (_, old) in zip(new_bindings, node.bindings)
+            ):
+                return node
+            return Let(new_bindings, new_body)
         return node
 
     return rewrite(term)

@@ -1,0 +1,106 @@
+"""Unit tests for the SMT-LIB printer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smtlib import (
+    Apply,
+    Assert,
+    CheckSat,
+    DeclareFun,
+    DefineFun,
+    Script,
+    SetLogic,
+    Symbol,
+    command_to_smtlib,
+    constant_to_smtlib,
+    parse_script,
+    parse_term,
+    script_to_smtlib,
+    symbol_to_smtlib,
+    term_to_smtlib,
+)
+from repro.smtlib.sorts import BOOL, INT, REAL, bitvec_sort
+from repro.smtlib.terms import (
+    Constant,
+    bitvec_const,
+    bool_const,
+    int_const,
+    real_const,
+    string_const,
+)
+
+
+def test_symbol_quoting():
+    from repro.errors import PrinterError, SmtLibError
+
+    assert symbol_to_smtlib("abc") == "abc"
+    assert symbol_to_smtlib("str.++") == "str.++"
+    assert symbol_to_smtlib("hello world") == "|hello world|"
+    # Identifiers that collide with reserved words must print quoted, or the
+    # output would change meaning in head position.
+    assert symbol_to_smtlib("let") == "|let|"
+    assert symbol_to_smtlib("forall") == "|forall|"
+    with pytest.raises(PrinterError):
+        symbol_to_smtlib("can|not")
+    # Oracles catch SmtLibError to classify input failures; unprintable
+    # symbols must land in that hierarchy, not in ValueError.
+    assert issubclass(PrinterError, SmtLibError)
+
+
+def test_boolean_and_integer_constants():
+    assert constant_to_smtlib(bool_const(True)) == "true"
+    assert constant_to_smtlib(int_const(42)) == "42"
+    assert constant_to_smtlib(int_const(-3)) == "(- 3)"
+
+
+def test_real_constants():
+    assert constant_to_smtlib(real_const(Fraction(3, 2))) == "1.5"
+    assert constant_to_smtlib(real_const(2)) == "2.0"
+    assert constant_to_smtlib(real_const(Fraction(-1, 4))) == "(- 0.25)"
+    # No finite decimal expansion: prints as a division that parses to an
+    # equivalent application.
+    assert constant_to_smtlib(Constant(Fraction(1, 3), REAL)) == "(/ 1.0 3.0)"
+
+
+def test_string_constants_escape_quotes():
+    assert constant_to_smtlib(string_const('say "hi"')) == '"say ""hi"""'
+
+
+def test_bitvec_constants_pick_hex_or_binary():
+    assert constant_to_smtlib(bitvec_const(255, 8)) == "#xff"
+    assert constant_to_smtlib(bitvec_const(1, 8)) == "#x01"  # zero-padded
+    assert constant_to_smtlib(bitvec_const(5, 3)) == "#b101"
+    assert constant_to_smtlib(bitvec_const(0, 12)) == "#x000"
+
+
+def test_term_printing_nested():
+    term = parse_term("(forall ((n Int)) (let ((m (+ n 1))) (< n m)))")
+    assert term_to_smtlib(term) == "(forall ((n Int)) (let ((m (+ n 1))) (< n m)))"
+
+
+def test_indexed_application_printing():
+    term = Apply("extract", (bitvec_const(0xAB, 8),), bitvec_sort(4), indices=(3, 0))
+    assert term_to_smtlib(term) == "((_ extract 3 0) #xab)"
+
+
+def test_command_printing():
+    assert command_to_smtlib(SetLogic("QF_BV")) == "(set-logic QF_BV)"
+    declare = DeclareFun("f", (INT, INT), BOOL)
+    assert command_to_smtlib(declare) == "(declare-fun f (Int Int) Bool)"
+    define = DefineFun("g", (("n", INT),), INT, Apply("+", (Symbol("n", INT), int_const(1)), INT))
+    assert command_to_smtlib(define) == "(define-fun g ((n Int)) Int (+ n 1))"
+    assert command_to_smtlib(CheckSat()) == "(check-sat)"
+    assert command_to_smtlib(Assert(bool_const(True))) == "(assert true)"
+
+
+def test_script_printing_one_command_per_line():
+    script = Script((SetLogic("QF_LIA"), CheckSat()))
+    assert script_to_smtlib(script) == "(set-logic QF_LIA)\n(check-sat)\n"
+    assert script_to_smtlib(Script(())) == ""
+
+
+def test_printed_text_reparses_identically():
+    script = parse_script("(declare-const x Int) (assert (= x 7)) (check-sat)")
+    assert parse_script(script_to_smtlib(script)) == script

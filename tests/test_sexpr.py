@@ -1,0 +1,63 @@
+"""Unit tests for the s-expression layer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.smtlib.lexer import TokenKind
+from repro.smtlib.sexpr import (
+    Atom,
+    head_symbol,
+    parse_sexprs,
+    sexpr_to_string,
+    strip_atoms,
+)
+
+
+def test_parse_nested_lists():
+    exprs = parse_sexprs("(assert (= x 1))")
+    assert len(exprs) == 1
+    assert strip_atoms(exprs[0]) == ["assert", ["=", "x", "1"]]
+
+
+def test_multiple_top_level_expressions():
+    exprs = parse_sexprs("(check-sat) (exit)")
+    assert [head_symbol(e) for e in exprs] == ["check-sat", "exit"]
+
+
+def test_atom_kinds_preserved():
+    exprs = parse_sexprs('(f 1 1.5 #b10 "s")')
+    kinds = [a.kind for a in exprs[0][1:]]
+    assert kinds == [
+        TokenKind.NUMERAL,
+        TokenKind.DECIMAL,
+        TokenKind.BINARY,
+        TokenKind.STRING,
+    ]
+
+
+def test_unbalanced_parens_rejected():
+    with pytest.raises(ParseError):
+        parse_sexprs("(a (b)")
+    with pytest.raises(ParseError):
+        parse_sexprs("a)")
+
+
+def test_round_trip_rendering():
+    exprs = parse_sexprs('(assert (= x "a""b"))')
+    rendered = sexpr_to_string(exprs[0])
+    assert rendered == '(assert (= x "a""b"))'
+    assert parse_sexprs(rendered) == exprs
+
+
+def test_string_atom_renders_with_doubled_quotes():
+    atom = Atom('a"b', TokenKind.STRING)
+    assert str(atom) == '"a""b"'
+
+
+def test_quoted_symbol_atoms_render_with_bars():
+    # Regression: sexpr rendering used to drop |...| quoting, corrupting any
+    # structure-level rewrite of scripts with non-simple symbols.
+    expr = parse_sexprs("(declare-const |a b| Int)")[0]
+    rendered = sexpr_to_string(expr)
+    assert rendered == "(declare-const |a b| Int)"
+    assert parse_sexprs(rendered) == [expr]

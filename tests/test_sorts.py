@@ -1,0 +1,70 @@
+"""Unit tests for the sort representation."""
+
+import pytest
+
+from repro.smtlib.sorts import (
+    BOOL,
+    INT,
+    REAL,
+    Sort,
+    array_sort,
+    bag_sort,
+    bitvec_sort,
+    finite_field_sort,
+    is_bitvec,
+    is_builtin,
+    is_container,
+    is_numeric,
+    relation_sort,
+    seq_sort,
+    set_sort,
+    tuple_sort,
+)
+
+
+def test_rendering():
+    assert BOOL.to_smtlib() == "Bool"
+    assert bitvec_sort(8).to_smtlib() == "(_ BitVec 8)"
+    assert seq_sort(INT).to_smtlib() == "(Seq Int)"
+    assert array_sort(INT, seq_sort(BOOL)).to_smtlib() == "(Array Int (Seq Bool))"
+    assert finite_field_sort(7).to_smtlib() == "(_ FiniteField 7)"
+
+
+def test_equality_and_hashing():
+    assert bitvec_sort(8) == bitvec_sort(8)
+    assert bitvec_sort(8) != bitvec_sort(16)
+    assert len({seq_sort(INT), seq_sort(INT), set_sort(INT)}) == 2
+
+
+def test_width_accessor():
+    assert bitvec_sort(12).width == 12
+    with pytest.raises(ValueError):
+        _ = INT.width
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        bitvec_sort(0)
+    with pytest.raises(ValueError):
+        finite_field_sort(1)
+
+
+def test_relation_is_set_of_tuple():
+    rel = relation_sort(INT, BOOL)
+    assert rel.name == "Set"
+    assert rel.element().name == "Tuple"
+    assert rel.element().args == (INT, BOOL)
+    assert tuple_sort() == Sort("UnitTuple")
+
+
+def test_classification():
+    assert is_numeric(INT) and is_numeric(REAL) and not is_numeric(BOOL)
+    assert is_bitvec(bitvec_sort(4))
+    assert is_container(bag_sort(INT))
+    assert is_builtin(seq_sort(INT))
+    assert not is_builtin(Sort("Person"))
+
+
+def test_walk():
+    nested = array_sort(INT, seq_sort(BOOL))
+    assert list(nested.walk()) == [nested, INT, seq_sort(BOOL), BOOL]

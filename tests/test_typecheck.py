@@ -1,0 +1,225 @@
+"""Unit tests for the well-sortedness checker.
+
+The acceptance bar requires at least ten deliberately ill-sorted terms to
+be rejected; ``ILL_SORTED`` below holds well over that many.
+"""
+
+import pytest
+
+from repro.errors import TypeCheckError, UnknownSymbolError
+from repro.smtlib import (
+    Apply,
+    Constant,
+    DeclarationContext,
+    Let,
+    Quantifier,
+    Symbol,
+    apply_sort,
+    check,
+    check_script,
+    is_builtin_operator,
+    parse_script,
+    parse_term,
+)
+from repro.smtlib.sorts import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    array_sort,
+    bitvec_sort,
+    finite_field_sort,
+    seq_sort,
+    set_sort,
+    tuple_sort,
+)
+from repro.smtlib.terms import int_const
+
+
+def test_apply_sort_core_and_arith():
+    assert apply_sort("and", (), (BOOL, BOOL, BOOL)) == BOOL
+    assert apply_sort("+", (), (INT, INT)) == INT
+    assert apply_sort("/", (), (REAL, REAL)) == REAL
+    assert apply_sort("<", (), (REAL, REAL)) == BOOL
+    assert apply_sort("ite", (), (BOOL, STRING, STRING)) == STRING
+
+
+def test_apply_sort_bitvec_widths():
+    assert apply_sort("concat", (), (bitvec_sort(8), bitvec_sort(4))) == bitvec_sort(12)
+    assert apply_sort("extract", (7, 4), (bitvec_sort(8),)) == bitvec_sort(4)
+    assert apply_sort("zero_extend", (8,), (bitvec_sort(8),)) == bitvec_sort(16)
+    assert apply_sort("repeat", (3,), (bitvec_sort(2),)) == bitvec_sort(6)
+
+
+def test_apply_sort_containers():
+    seq = seq_sort(INT)
+    assert apply_sort("seq.nth", (), (seq, INT)) == INT
+    assert apply_sort("select", (), (array_sort(INT, BOOL), INT)) == BOOL
+    assert apply_sort("set.member", (), (INT, set_sort(INT))) == BOOL
+
+
+def test_declared_functions_via_context():
+    context = DeclarationContext()
+    context.declare_fun("f", (INT,), BOOL)
+    assert apply_sort("f", (), (INT,), context) == BOOL
+    with pytest.raises(TypeCheckError):
+        apply_sort("f", (), (BOOL,), context)
+    with pytest.raises(UnknownSymbolError):
+        apply_sort("g", (), (INT,), context)
+
+
+def test_is_builtin_operator():
+    assert is_builtin_operator("bvadd")
+    assert not is_builtin_operator("my-function")
+
+
+def test_check_accepts_well_sorted_tree():
+    term = parse_term("(and (< 1 2) (= #b10 #b10))")
+    assert check(term) == BOOL
+
+
+def test_check_catches_lying_stored_sort():
+    # The Apply stores Bool but + over Ints derives Int.
+    lying = Apply("+", (int_const(1), int_const(2)), BOOL)
+    with pytest.raises(TypeCheckError):
+        check(lying)
+
+
+def test_check_free_symbols_against_context():
+    context = DeclarationContext()
+    context.declare_const("x", INT)
+    assert check(Symbol("x", INT), context) == INT
+    with pytest.raises(TypeCheckError):
+        check(Symbol("x", BOOL), context)  # declared Int, used at Bool
+    with pytest.raises(UnknownSymbolError):
+        check(Symbol("y", INT), context)
+
+
+def test_check_without_context_trusts_declared_function_applications():
+    # Regression: check(term) with no context used to raise
+    # UnknownSymbolError on any application of a declared function.
+    script = parse_script(
+        "(declare-fun f (Int) Int) (declare-const x Int) (assert (= (f x) 0))"
+    )
+    assert check(script.assertions()[0]) == BOOL
+
+
+def test_builtin_regex_constants_checked():
+    from repro.smtlib.sorts import REGLAN
+
+    assert check(Symbol("re.allchar", REGLAN)) == REGLAN
+    with pytest.raises(TypeCheckError):
+        check(Symbol("re.none", INT))
+
+
+def test_check_script_runs_whole_pipeline():
+    script = parse_script(
+        """
+        (declare-const x Int)
+        (define-fun incr ((n Int)) Int (+ n 1))
+        (assert (= (incr x) 2))
+        (check-sat)
+        """
+    )
+    check_script(script)
+
+
+ILL_SORTED = [
+    # (operator, indices, argument sorts) triples that must be rejected.
+    ("and", (), (INT, BOOL)),
+    ("not", (), (INT,)),
+    ("not", (), (BOOL, BOOL)),
+    ("=", (), (INT, BOOL)),
+    ("=", (), (INT,)),
+    ("ite", (), (INT, INT, INT)),
+    ("ite", (), (BOOL, INT, REAL)),
+    ("+", (), (INT, REAL)),
+    ("+", (), (BOOL, BOOL)),
+    ("div", (), (REAL, REAL)),
+    ("mod", (), (INT,)),
+    ("/", (), (INT, INT)),
+    ("<", (), (STRING, STRING)),
+    ("to_real", (), (REAL,)),
+    ("divisible", (), (INT,)),  # missing index
+    ("concat", (), (bitvec_sort(4), INT)),
+    ("extract", (1, 3), (bitvec_sort(8),)),  # high < low
+    ("extract", (9, 0), (bitvec_sort(8),)),  # out of range
+    ("bvadd", (), (bitvec_sort(4), bitvec_sort(8))),
+    ("bvnot", (), (INT,)),
+    ("bvult", (), (bitvec_sort(4), bitvec_sort(8))),
+    ("str.len", (), (INT,)),
+    ("str.++", (), (STRING, INT)),
+    ("str.in_re", (), (STRING, STRING)),
+    ("select", (), (INT, INT)),
+    ("select", (), (array_sort(INT, BOOL), BOOL)),
+    ("store", (), (array_sort(INT, BOOL), INT, INT)),
+    ("seq.nth", (), (seq_sort(INT), BOOL)),
+    ("seq.++", (), (seq_sort(INT), seq_sort(BOOL))),
+    ("set.member", (), (BOOL, set_sort(INT))),
+    ("set.union", (), (set_sort(INT), set_sort(BOOL))),
+    ("rel.tclosure", (), (set_sort(INT),)),
+    ("bag.count", (), (INT, set_sort(INT))),
+    ("ff.add", (), (finite_field_sort(5), finite_field_sort(7))),
+    ("ff.neg", (), (INT,)),
+    ("tuple.select", (2,), (tuple_sort(INT, BOOL),)),  # index out of range
+]
+
+
+@pytest.mark.parametrize("op,indices,args", ILL_SORTED)
+def test_ill_sorted_applications_rejected(op, indices, args):
+    with pytest.raises(TypeCheckError):
+        apply_sort(op, indices, args)
+
+
+def test_bound_variable_shadowing_builtin_cannot_be_applied():
+    # Same rule as the parser: a binding named like a builtin operator
+    # shadows it, and bound variables are never applicable.
+    from repro.smtlib.terms import TRUE
+
+    shadowing = Quantifier("forall", (("and", BOOL),), Apply("and", (TRUE, TRUE), BOOL))
+    with pytest.raises(TypeCheckError):
+        check(shadowing)
+
+
+def test_quantifier_and_let_validation():
+    with pytest.raises(TypeCheckError):
+        check(Quantifier("forall", (("n", INT),), int_const(1)))  # non-Bool body
+    with pytest.raises(TypeCheckError):
+        check(Let((), int_const(1)))  # no bindings
+    with pytest.raises(TypeCheckError):  # duplicate parallel-let bindings
+        check(Let((("n", int_const(1)), ("n", int_const(2))), Symbol("n", INT)))
+    with pytest.raises(TypeCheckError):  # duplicate quantifier bindings
+        check(Quantifier("forall", (("n", INT), ("n", BOOL)), Symbol("n", BOOL)))
+    bound_ok = Let((("n", int_const(1)),), Apply("=", (Symbol("n", INT), int_const(1)), BOOL))
+    assert check(bound_ok) == BOOL
+    # A let-bound symbol used at the wrong sort must be caught.
+    bad = Let((("n", int_const(1)),), Symbol("n", BOOL))
+    with pytest.raises(TypeCheckError):
+        check(bad)
+
+
+def test_constant_validation():
+    with pytest.raises(TypeCheckError):
+        check(Constant(2, BOOL))
+    with pytest.raises(TypeCheckError):
+        check(Constant(256, bitvec_sort(8)))
+    with pytest.raises(TypeCheckError):
+        check(Constant("text", INT))
+    with pytest.raises(TypeCheckError):
+        check(Constant(3, finite_field_sort(5)))  # missing ff qualifier
+    with pytest.raises(TypeCheckError):
+        check(Constant(9, finite_field_sort(5), qualifier="ff9"))  # out of range
+    with pytest.raises(TypeCheckError):
+        check(Constant(1, finite_field_sort(7), qualifier="ff3"))  # qualifier/value mismatch
+    with pytest.raises(TypeCheckError):
+        check(Constant(1, finite_field_sort(7), qualifier="ffoo"))  # non-numeric qualifier
+
+
+def test_check_script_rejects_duplicate_define_fun_params():
+    from repro.smtlib import DefineFun, Script
+    from repro.smtlib.sorts import REAL
+    from repro.smtlib.terms import Symbol as Sym
+
+    bad = Script((DefineFun("f", (("x", INT), ("x", REAL)), INT, Sym("x", INT)),))
+    with pytest.raises(TypeCheckError):
+        check_script(bad)
