@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Benchmark harness for the hash-consed term core and the simplifier.
+
+Generates deterministic deep/wide/shared term workloads, runs
+construction, simplification and (where ground) evaluation over them, and
+reports per-workload:
+
+* tree node count and DAG node count before/after simplification,
+* intern-table hit/miss counts and hit rate for the construction phase,
+* wall-clock for build / simplify / evaluate.
+
+Results are printed as a table and written as JSON (``BENCH_simplify.json``
+by default) so CI can archive them.  ``--smoke`` shrinks every workload for
+a fast correctness-oriented pass; ``--check`` (implied by ``--smoke``)
+re-typechecks every simplified term at its original sort and asserts the
+simplify fixpoint.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_simplify.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+sys.setrecursionlimit(1_000_000)
+
+from repro.smtlib import (  # noqa: E402
+    BOOL,
+    INT,
+    STRING,
+    Apply,
+    Constant,
+    Let,
+    Symbol,
+    Term,
+    bitvec_const,
+    bitvec_sort,
+    bool_const,
+    check,
+    evaluate,
+    int_const,
+    intern_stats,
+    parse_script,
+    reset_intern_stats,
+    script_to_smtlib,
+    simplify,
+    simplify_script,
+    string_const,
+)
+
+BV8 = bitvec_sort(8)
+
+
+# ---------------------------------------------------------------------------
+# Workload generators.  All deterministic: same n → same term.
+# ---------------------------------------------------------------------------
+
+
+def deep_ground_add(n: int) -> Term:
+    """Left-nested all-literal addition chain: folds to one constant."""
+    term: Term = int_const(1)
+    for i in range(n):
+        term = Apply("+", (term, int_const(i % 7)), INT)
+    return term
+
+
+def deep_mixed_add(n: int) -> Term:
+    """Left-nested addition chain over one symbol: folds to ``(+ x c)``."""
+    term: Term = Symbol("x", INT)
+    for i in range(n):
+        term = Apply("+", (term, int_const(i % 7)), INT)
+    return term
+
+
+def wide_and(n: int) -> Term:
+    """Wide conjunction with duplicates and ``true`` units interleaved."""
+    args: list[Term] = []
+    for i in range(n):
+        args.append(Symbol(f"b{i % max(1, n // 4)}", BOOL))  # ~4x duplication
+        if i % 5 == 0:
+            args.append(bool_const(True))
+    return Apply("and", tuple(args), BOOL)
+
+
+def bv_mix(n: int) -> Term:
+    """Bit-vector chain mixing bvadd/bvand/bvxor with literal runs."""
+    term: Term = Symbol("v", BV8)
+    for i in range(n):
+        op = ("bvadd", "bvand", "bvxor")[i % 3]
+        term = Apply(op, (term, bitvec_const(i * 37, 8)), BV8)
+    return term
+
+
+def string_runs(n: int) -> Term:
+    """``str.++`` with long literal runs around a few symbols."""
+    args: list[Term] = []
+    for i in range(n):
+        args.append(string_const(f"lit{i % 11}"))
+        if i % 16 == 15:
+            args.append(Symbol(f"s{i % 3}", STRING))
+    if len(args) < 2:
+        args.append(string_const("pad"))
+    return Apply("str.++", tuple(args), STRING)
+
+
+def ite_chain(n: int) -> Term:
+    """Nested ``ite`` with literal conditions: collapses to one branch."""
+    term: Term = int_const(0)
+    for i in range(n):
+        term = Apply(
+            "ite", (bool_const(i % 2 == 0), int_const(i), term), INT
+        )
+    return term
+
+
+def nested_lets(n: int) -> Term:
+    """Deep nested-``let`` spine with literal-propagating bindings: the
+    accumulated environment folds the whole chain to one constant.
+    Exercises the binder path (scope handling, env restriction)."""
+    from repro.smtlib.sorts import BOOL
+
+    body: Term = Apply("<", (Symbol(f"a{n-1}", INT), int_const(0)), BOOL)
+    for i in reversed(range(n)):
+        if i == 0:
+            value: Term = int_const(7)
+        else:
+            value = Apply("+", (Symbol(f"a{i-1}", INT), int_const(1)), INT)
+        body = Let(((f"a{i}", value),), body)
+    return body
+
+
+def shared_doubling(n: int) -> Term:
+    """``t = (+ t t)`` repeated: tree size 2^n, DAG size O(n).
+
+    Exercises the intern table (every level is one node) and the
+    simplifier's memoization plus the flattening cap.
+    """
+    term: Term = Apply("+", (Symbol("x", INT), int_const(1)), INT)
+    for _ in range(n):
+        term = Apply("+", (term, term), INT)
+    return term
+
+
+WORKLOADS = {
+    "deep_ground_add": (deep_ground_add, 20_000, 200),
+    "deep_mixed_add": (deep_mixed_add, 20_000, 200),
+    "wide_and": (wide_and, 50_000, 500),
+    "bv_mix": (bv_mix, 10_000, 200),
+    "string_runs": (string_runs, 20_000, 200),
+    "ite_chain": (ite_chain, 10_000, 200),
+    "nested_lets": (nested_lets, 10_000, 200),
+    "shared_doubling": (shared_doubling, 400, 40),
+}
+
+
+def run_workload(name: str, n: int, verify: bool) -> dict:
+    build_fn = WORKLOADS[name][0]
+    reset_intern_stats()
+    t0 = time.perf_counter()
+    term = build_fn(n)
+    build_s = time.perf_counter() - t0
+    stats = intern_stats()
+    hit_rate = stats["hits"] / max(1, stats["hits"] + stats["misses"])
+
+    # Tree size is exponential for the shared workloads; report DAG size
+    # always and tree size only when it is tractable.
+    dag_before = term.dag_size()
+    tree_before = term.size() if name != "shared_doubling" else None
+
+    t0 = time.perf_counter()
+    simplified = simplify(term)
+    simplify_s = time.perf_counter() - t0
+
+    dag_after = simplified.dag_size()
+    tree_after = simplified.size() if name != "shared_doubling" else None
+
+    evaluate_s = None
+    if not term.free_symbols():
+        t0 = time.perf_counter()
+        value = evaluate(term)
+        evaluate_s = time.perf_counter() - t0
+        assert simplified is value or simplified == value, name
+
+    if verify:
+        assert simplified.sort == term.sort, name
+        assert simplify(simplified) is simplified, name
+        check(simplified)
+
+    return {
+        "workload": name,
+        "n": n,
+        "nodes": {
+            "dag_before": dag_before,
+            "dag_after": dag_after,
+            "tree_before": tree_before,
+            "tree_after": tree_after,
+        },
+        "intern": {**stats, "hit_rate": round(hit_rate, 4)},
+        "seconds": {
+            "build": round(build_s, 6),
+            "simplify": round(simplify_s, 6),
+            "evaluate": round(evaluate_s, 6) if evaluate_s is not None else None,
+        },
+    }
+
+
+def run_corpus(corpus_dir: str, verify: bool) -> dict:
+    """Parse every corpus script twice (measuring intern hits on the second
+    pass), then simplify and round-trip print each one."""
+    paths = sorted(
+        os.path.join(corpus_dir, f)
+        for f in os.listdir(corpus_dir)
+        if f.endswith(".smt2")
+    )
+    texts = [Path(p).read_text(encoding="utf-8") for p in paths]
+    t0 = time.perf_counter()
+    first = [parse_script(text) for text in texts]
+    reset_intern_stats()
+    second = [parse_script(text) for text in texts]
+    parse_s = time.perf_counter() - t0
+    stats = intern_stats()
+    for a, b in zip(first, second):
+        for ta, tb in zip(a.assertions(), b.assertions()):
+            assert ta is tb, "double parse must yield identical object graphs"
+
+    t0 = time.perf_counter()
+    simplified = [simplify_script(script) for script in second]
+    simplify_s = time.perf_counter() - t0
+    if verify:
+        for script in simplified:
+            reparsed = parse_script(script_to_smtlib(script))
+            assert script_to_smtlib(reparsed) == script_to_smtlib(script)
+    hit_rate = stats["hits"] / max(1, stats["hits"] + stats["misses"])
+    return {
+        "workload": "corpus_reparse",
+        "n": len(paths),
+        "nodes": {
+            "dag_before": sum(t.dag_size() for s in second for t in s.assertions()),
+            "dag_after": sum(t.dag_size() for s in simplified for t in s.assertions()),
+            "tree_before": sum(t.size() for s in second for t in s.assertions()),
+            "tree_after": sum(t.size() for s in simplified for t in s.assertions()),
+        },
+        "intern": {**stats, "hit_rate": round(hit_rate, 4)},
+        "seconds": {"build": round(parse_s, 6), "simplify": round(simplify_s, 6), "evaluate": None},
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes + full verification")
+    parser.add_argument("--check", action="store_true", help="verify sorts and fixpoint")
+    parser.add_argument("--out", default="BENCH_simplify.json", help="JSON output path")
+    parser.add_argument(
+        "--corpus",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "tests", "corpus"),
+        help="corpus directory for the reparse workload",
+    )
+    args = parser.parse_args(argv)
+    # The pipeline is recursive over term depth; full-size deep workloads
+    # need far more C stack than the default 8 MiB, so all measurement runs
+    # in a worker thread with a large explicit stack.
+    outcome: list = []
+    threading.stack_size(512 * 1024 * 1024)
+    worker = threading.Thread(target=lambda: outcome.append(_run(args)))
+    worker.start()
+    worker.join()
+    return outcome[0] if outcome else 1
+
+
+def _run(args: argparse.Namespace) -> int:
+    verify = args.check or args.smoke
+
+    results = []
+    for name, (_, full_n, smoke_n) in WORKLOADS.items():
+        n = smoke_n if args.smoke else full_n
+        results.append(run_workload(name, n, verify))
+    if os.path.isdir(args.corpus):
+        results.append(run_corpus(args.corpus, verify))
+
+    header = f"{'workload':<18} {'n':>7} {'dag_in':>8} {'dag_out':>8} {'hit_rate':>8} {'build_s':>9} {'simp_s':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in results:
+        print(
+            f"{row['workload']:<18} {row['n']:>7} {row['nodes']['dag_before']:>8} "
+            f"{row['nodes']['dag_after']:>8} {row['intern']['hit_rate']:>8.3f} "
+            f"{row['seconds']['build']:>9.4f} {row['seconds']['simplify']:>9.4f}"
+        )
+
+    payload = {
+        "bench": "simplify",
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,13 @@ class TypeCheckError(SortError):
     """
 
 
+class EvaluationError(SmtLibError):
+    """Raised by :mod:`repro.smtlib.evaluate` when a term cannot be reduced
+    to a literal value: it has free symbols not covered by the environment,
+    contains a quantifier, or applies an operator whose result SMT-LIB
+    leaves unspecified on the given literals (e.g. division by zero)."""
+
+
 class UnknownSymbolError(SmtLibError):
     """Raised when a term references an undeclared symbol."""
 

@@ -1,17 +1,25 @@
-"""The SMT-LIB front end.
+"""The SMT-LIB front end and term-compute layer.
 
 Pipeline: :mod:`lexer` (text → tokens) → :mod:`sexpr` (tokens → generic
 s-expressions) → :mod:`parser` (s-expressions → sorted commands and terms,
 using :mod:`sorts`, :mod:`terms` and :mod:`script`) → :mod:`typecheck`
-(well-sortedness verification) → :mod:`printer` (back to concrete syntax,
-satisfying ``parse(print(s)) == s`` for every parsed script ``s``).
+(well-sortedness verification) → :mod:`simplify` / :mod:`evaluate`
+(theory-aware rewriting and ground evaluation over the hash-consed term
+DAG) → :mod:`printer` (back to concrete syntax, satisfying
+``parse(print(s)) == s`` for every parsed script ``s``).
+
+Terms are hash-consed: structurally equal terms are one interned object,
+giving O(1) equality/hashing and memoizable passes (see
+:mod:`repro.smtlib.terms`).
 
 This module re-exports the surface the downstream subsystems (generator,
 skeletonizer, reducer, oracle) program against.
 """
 
+from .evaluate import evaluate, evaluate_value, fold_apply
 from .lexer import RESERVED_WORDS, Token, TokenKind, is_simple_symbol, iter_tokens, tokenize
 from .parser import parse_command, parse_script, parse_sort, parse_term
+from .simplify import simplify, simplify_script
 from .printer import (
     command_to_smtlib,
     constant_to_smtlib,
@@ -72,13 +80,15 @@ from .terms import (
     bool_const,
     ff_const,
     int_const,
+    intern_stats,
     qualified_constant,
     real_const,
     replace_subterm,
+    reset_intern_stats,
     string_const,
     substitute,
 )
-from .typecheck import apply_sort, check, check_script, is_builtin_operator
+from .typecheck import apply_sort, check, check_script, is_builtin_operator, well_sorted
 
 __all__ = [
     # lexer
@@ -129,6 +139,8 @@ __all__ = [
     "qualified_constant",
     "substitute",
     "replace_subterm",
+    "intern_stats",
+    "reset_intern_stats",
     # script
     "Command",
     "Script",
@@ -158,6 +170,14 @@ __all__ = [
     "check",
     "check_script",
     "is_builtin_operator",
+    "well_sorted",
+    # simplify
+    "simplify",
+    "simplify_script",
+    # evaluate
+    "evaluate",
+    "evaluate_value",
+    "fold_apply",
     # printer
     "symbol_to_smtlib",
     "sort_to_smtlib",

@@ -7,6 +7,11 @@ its :class:`~repro.smtlib.sorts.Sort`.  Sort inference is driven by the
 :class:`~repro.smtlib.script.DeclarationContext` (for declared symbols) and
 by the operator signature table in :mod:`repro.smtlib.typecheck` (for
 built-in operators), so parsing doubles as an eager well-sortedness check.
+
+All terms are built through the hash-consing constructors in
+:mod:`repro.smtlib.terms`, so parsing the same text twice yields
+*identical* term object graphs (``is``-equal roots), and repeated
+subterms within one script share a single node.
 """
 
 from __future__ import annotations
@@ -57,7 +62,9 @@ from .terms import (
     Term,
     bool_const,
     ff_const,
+    int_const,
     qualified_constant,
+    string_const,
 )
 from .typecheck import (
     BUILTIN_CONSTANTS,
@@ -232,7 +239,7 @@ def _term(expr: SExpr, context: DeclarationContext, bound: dict[str, Sort]) -> T
 def _atom_term(atom: Atom, context: DeclarationContext, bound: dict[str, Sort]) -> Term:
     kind = atom.kind
     if kind == TokenKind.NUMERAL:
-        return Constant(int(atom.text), INT)
+        return int_const(int(atom.text))
     if kind == TokenKind.DECIMAL:
         return Constant(Fraction(atom.text), REAL)
     if kind == TokenKind.HEXADECIMAL:
@@ -242,7 +249,7 @@ def _atom_term(atom: Atom, context: DeclarationContext, bound: dict[str, Sort]) 
         digits = atom.text[2:]
         return Constant(int(digits, 2), bitvec_sort(len(digits)))
     if kind == TokenKind.STRING:
-        return Constant(atom.text, STRING)
+        return string_const(atom.text)
     if kind in (TokenKind.SYMBOL, TokenKind.QUOTED_SYMBOL):
         name = atom.text
         if kind == TokenKind.SYMBOL and name in RESERVED_WORDS:

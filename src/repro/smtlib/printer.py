@@ -13,6 +13,9 @@ choices keep that law simple:
   programmatically with negative literals round-trip to the equivalent
   negation application.  Likewise a ``Real`` whose value has no finite
   decimal expansion prints as ``(/ p.0 q.0)``.
+
+Term rendering is context-free, so it memoizes per hash-consed node:
+subterms shared across a term DAG are rendered once per call.
 """
 
 from __future__ import annotations
@@ -93,29 +96,50 @@ def constant_to_smtlib(constant: Constant) -> str:
 
 
 def term_to_smtlib(term: Term) -> str:
-    """Render a term in concrete SMT-LIB syntax."""
+    """Render a term in concrete SMT-LIB syntax.
+
+    Printing is context-free, so the renderer memoizes per distinct node:
+    with hash-consed terms, a subterm shared by many parents is rendered
+    once per call no matter how often it occurs.
+    """
+    return _term_text(term, {})
+
+
+def _term_text(term: Term, memo: dict[Term, str]) -> str:
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
     if isinstance(term, Constant):
-        return constant_to_smtlib(term)
-    if isinstance(term, Symbol):
-        return symbol_to_smtlib(term.name)
-    if isinstance(term, Apply):
+        text = constant_to_smtlib(term)
+    elif isinstance(term, Symbol):
+        text = symbol_to_smtlib(term.name)
+    elif isinstance(term, Apply):
         head = symbol_to_smtlib(term.op)
         if term.indices:
             head = "(_ {} {})".format(head, " ".join(str(i) for i in term.indices))
         if not term.args:
-            return f"({head})"
-        return "({} {})".format(head, " ".join(term_to_smtlib(a) for a in term.args))
-    if isinstance(term, Quantifier):
+            text = f"({head})"
+        else:
+            # Plain loop, not a genexpr, so deep terms print in linear time.
+            parts = []
+            for a in term.args:
+                parts.append(_term_text(a, memo))
+            text = "({} {})".format(head, " ".join(parts))
+    elif isinstance(term, Quantifier):
         bindings = " ".join(
             f"({symbol_to_smtlib(name)} {sort.to_smtlib()})" for name, sort in term.bindings
         )
-        return f"({term.kind} ({bindings}) {term_to_smtlib(term.body)})"
-    if isinstance(term, Let):
+        text = f"({term.kind} ({bindings}) {_term_text(term.body, memo)})"
+    elif isinstance(term, Let):
         bindings = " ".join(
-            f"({symbol_to_smtlib(name)} {term_to_smtlib(value)})" for name, value in term.bindings
+            f"({symbol_to_smtlib(name)} {_term_text(value, memo)})"
+            for name, value in term.bindings
         )
-        return f"(let ({bindings}) {term_to_smtlib(term.body)})"
-    raise TypeError(f"unknown term node: {term!r}")
+        text = f"(let ({bindings}) {_term_text(term.body, memo)})"
+    else:
+        raise TypeError(f"unknown term node: {term!r}")
+    memo[term] = text
+    return text
 
 
 # ---------------------------------------------------------------------------

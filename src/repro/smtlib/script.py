@@ -294,6 +294,20 @@ class Script:
         """A new script with ``command`` appended."""
         return Script(self.commands + (command,))
 
+    def map_assertions(self, transform) -> "Script":
+        """A new script with every asserted term rewritten by ``transform``.
+
+        ``transform`` receives each :class:`~repro.smtlib.terms.Term` from an
+        ``assert`` and must return a ``Bool``-sorted replacement; all other
+        commands are kept as-is.  With hash-consed terms, an identity
+        transform returns a script whose commands compare equal cheaply.
+        """
+        commands = tuple(
+            Assert(transform(command.term)) if isinstance(command, Assert) else command
+            for command in self.commands
+        )
+        return Script(commands)
+
     # -- rendering ----------------------------------------------------------
 
     def to_smtlib(self) -> str:

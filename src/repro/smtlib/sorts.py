@@ -30,6 +30,14 @@ class Sort:
     def __post_init__(self) -> None:
         object.__setattr__(self, "args", tuple(self.args))
         object.__setattr__(self, "indices", tuple(int(i) for i in self.indices))
+        # Cache the structural hash: the hash-consed term layer hashes sorts
+        # on every construction, so sort hashing must be O(1) after this.
+        object.__setattr__(
+            self, "_hash", hash((self.name, self.args, self.indices))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # -- structural queries -------------------------------------------------
 

@@ -1,7 +1,9 @@
-"""The SMT-LIB term AST.
+"""The hash-consed SMT-LIB term core.
 
-Terms are immutable trees.  Five node kinds cover everything the library
-needs:
+Terms are immutable, *interned* DAG nodes: constructing a term that is
+structurally equal to one that already exists returns the existing object
+(one object per distinct term).  Five node kinds cover everything the
+library needs:
 
 * :class:`Constant` — literals (numerals, decimals, string literals,
   bit-vector literals, finite-field constants, ``true``/``false``) and
@@ -13,25 +15,115 @@ needs:
 * :class:`Quantifier` — ``forall`` / ``exists`` with a list of bindings.
 * :class:`Let` — parallel ``let`` bindings.
 
-Every node knows its :class:`~repro.smtlib.sorts.Sort`.  Construction does
-not re-check well-sortedness; use :mod:`repro.smtlib.typecheck` for that.
+Hash-consing gives three guarantees the rest of the pipeline builds on:
+
+* **O(1) equality** — structural equality coincides with object identity
+  (``==`` is ``is``), so comparing two terms never walks their trees.
+* **O(1) hashing** — every node stores its structural hash, computed once
+  at construction from the (already O(1)) hashes of its children.
+* **Cached sort** — every node stores its :class:`~repro.smtlib.sorts.Sort`
+  at construction; ``Quantifier`` caches ``Bool`` and ``Let`` caches its
+  body's sort, so ``term.sort`` never recomputes anything.
+
+The intern table is a :class:`weakref.WeakValueDictionary`, so terms that
+become unreachable are collected normally; :func:`intern_stats` reports
+hit/miss counters and the live-node count for the benchmark harness.  The
+table is process-global and not synchronised — the library is
+single-threaded by design.
+
+Every class constructor *is* the interning constructor (interning happens
+in ``__new__``), so the parser, simplifier and tests all share the table
+without calling anything special.  Construction does not re-check
+well-sortedness; use :mod:`repro.smtlib.typecheck` for that.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
 from fractions import Fraction
-from typing import Iterable, Iterator, Mapping, Sequence, Union
+from typing import Iterator, Mapping, Sequence, Union
 
 from .sorts import BOOL, INT, REAL, STRING, Sort
 
 ConstantValue = Union[bool, int, Fraction, str]
 
 
-class Term:
-    """Base class of all term nodes."""
+# ---------------------------------------------------------------------------
+# The intern table.
+# ---------------------------------------------------------------------------
 
-    sort: Sort
+_INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Term]" = weakref.WeakValueDictionary()
+_HITS = 0
+_MISSES = 0
+
+
+def intern_stats() -> dict[str, int]:
+    """Intern-table counters: ``hits`` (constructions that returned an
+    existing node), ``misses`` (constructions that allocated) and ``live``
+    (nodes currently reachable)."""
+    return {"hits": _HITS, "misses": _MISSES, "live": len(_INTERN_TABLE)}
+
+
+def reset_intern_stats() -> None:
+    """Zero the hit/miss counters (the table itself is left alone)."""
+    global _HITS, _MISSES
+    _HITS = 0
+    _MISSES = 0
+
+
+class Term:
+    """Base class of all term nodes.
+
+    Instances are immutable and interned; see the module docstring.
+    Subclasses allocate exclusively through :meth:`Term._intern`.
+    """
+
+    __slots__ = ("_sort", "_hash", "__weakref__")
+
+    @classmethod
+    def _intern(cls, key: tuple, sort: Sort, attrs: tuple) -> "Term":
+        """Return the canonical node for ``key``, allocating on first use.
+
+        ``attrs`` are (slot-name, value) pairs set on a fresh instance.
+        """
+        global _HITS, _MISSES
+        existing = _INTERN_TABLE.get(key)
+        if existing is not None:
+            _HITS += 1
+            return existing
+        _MISSES += 1
+        self = object.__new__(cls)
+        object.__setattr__(self, "_sort", sort)
+        object.__setattr__(self, "_hash", hash(key))
+        for name, value in attrs:
+            object.__setattr__(self, name, value)
+        _INTERN_TABLE[key] = self
+        return self
+
+    # -- immutability / identity semantics ----------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"terms are immutable: cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"terms are immutable: cannot delete {name!r}")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Equality is inherited object identity: interning makes structural
+    # equality and identity coincide, so no __eq__ override is needed.
+
+    def __copy__(self) -> "Term":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Term":
+        return self
+
+    @property
+    def sort(self) -> Sort:
+        """The term's sort, cached at construction."""
+        return self._sort
 
     # -- traversal ----------------------------------------------------------
 
@@ -40,7 +132,11 @@ class Term:
         return ()
 
     def walk(self) -> Iterator["Term"]:
-        """Yield this node and every descendant, pre-order."""
+        """Yield this node and every descendant, pre-order.
+
+        Shared subterms are yielded once per *occurrence* (tree view); use
+        :meth:`dag_size` or a visited set for the DAG view.
+        """
         stack = [self]
         while stack:
             node = stack.pop()
@@ -48,8 +144,24 @@ class Term:
             stack.extend(reversed(node.children()))
 
     def size(self) -> int:
-        """Number of nodes in the term tree."""
+        """Number of nodes in the term viewed as a tree (occurrences)."""
         return sum(1 for _ in self.walk())
+
+    def dag_size(self) -> int:
+        """Number of *distinct* nodes in the term viewed as a DAG.
+
+        With hash-consing, structurally equal subterms are one object, so
+        this counts unique objects — the real memory footprint.
+        """
+        seen: set[Term] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(node.children())
+        return len(seen)
 
     def depth(self) -> int:
         """Height of the term tree (a leaf has depth 1)."""
@@ -65,7 +177,7 @@ class Term:
         reported.
         """
         result: dict[str, Sort] = {}
-        _collect_free_symbols(self, frozenset(), result)
+        _collect_free_symbols(self, frozenset(), result, set())
         return result
 
     def operators(self) -> set[str]:
@@ -85,7 +197,6 @@ class Term:
         return term_to_smtlib(self)
 
 
-@dataclass(frozen=True)
 class Constant(Term):
     """A literal constant, e.g. ``3``, ``1.5``, ``"abc"``, ``#b1010``, ``true``.
 
@@ -95,77 +206,196 @@ class Constant(Term):
     it is empty for plain literals.
     """
 
-    value: ConstantValue
-    sort: Sort
-    qualifier: str = ""
+    __slots__ = ("_value", "_qualifier")
 
-    def __post_init__(self) -> None:
-        if self.sort == REAL and isinstance(self.value, int):
-            object.__setattr__(self, "value", Fraction(self.value))
+    def __new__(cls, value: ConstantValue, sort: Sort, qualifier: str = "") -> "Constant":
+        if sort == REAL and isinstance(value, int):
+            value = Fraction(value)
+        key = ("Constant", type(value).__name__, value, sort, qualifier)
+        return cls._intern(key, sort, (("_value", value), ("_qualifier", qualifier)))  # type: ignore[return-value]
+
+    @property
+    def value(self) -> ConstantValue:
+        return self._value
+
+    @property
+    def qualifier(self) -> str:
+        return self._qualifier
+
+    def __repr__(self) -> str:
+        return f"Constant(value={self._value!r}, sort={self._sort!r}, qualifier={self._qualifier!r})"
+
+    def __reduce__(self):
+        return (Constant, (self._value, self._sort, self._qualifier))
 
 
-@dataclass(frozen=True)
 class Symbol(Term):
     """An occurrence of a zero-arity function or a bound variable."""
 
-    name: str
-    sort: Sort
+    __slots__ = ("_name",)
+
+    def __new__(cls, name: str, sort: Sort) -> "Symbol":
+        key = ("Symbol", name, sort)
+        return cls._intern(key, sort, (("_name", name),))  # type: ignore[return-value]
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"Symbol(name={self._name!r}, sort={self._sort!r})"
+
+    def __reduce__(self):
+        return (Symbol, (self._name, self._sort))
 
 
-@dataclass(frozen=True)
 class Apply(Term):
     """Application ``(op arg1 ... argn)``; ``indices`` for ``(_ op i ...)``."""
 
-    op: str
-    args: tuple[Term, ...]
-    sort: Sort
-    indices: tuple[int, ...] = ()
+    __slots__ = ("_op", "_args", "_indices")
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "args", tuple(self.args))
-        object.__setattr__(self, "indices", tuple(int(i) for i in self.indices))
+    def __new__(
+        cls,
+        op: str,
+        args: Sequence[Term],
+        sort: Sort,
+        indices: Sequence[int] = (),
+    ) -> "Apply":
+        args = tuple(args)
+        indices = tuple(int(i) for i in indices)
+        key = ("Apply", op, args, sort, indices)
+        return cls._intern(  # type: ignore[return-value]
+            key, sort, (("_op", op), ("_args", args), ("_indices", indices))
+        )
+
+    @property
+    def op(self) -> str:
+        return self._op
+
+    @property
+    def args(self) -> tuple[Term, ...]:
+        return self._args
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        return self._indices
 
     def children(self) -> tuple[Term, ...]:
-        return self.args
+        return self._args
+
+    def __repr__(self) -> str:
+        return (
+            f"Apply(op={self._op!r}, args={self._args!r}, "
+            f"sort={self._sort!r}, indices={self._indices!r})"
+        )
+
+    def __reduce__(self):
+        return (Apply, (self._op, self._args, self._sort, self._indices))
 
 
-@dataclass(frozen=True)
 class Quantifier(Term):
-    """A ``forall`` or ``exists`` term; ``bindings`` are (name, sort) pairs."""
+    """A ``forall`` or ``exists`` term; ``bindings`` are (name, sort) pairs.
 
-    kind: str
-    bindings: tuple[tuple[str, Sort], ...]
-    body: Term
+    The sort is always ``Bool`` and is cached like any other node's.
+    """
 
-    def __post_init__(self) -> None:
-        if self.kind not in ("forall", "exists"):
-            raise ValueError(f"unknown quantifier kind: {self.kind}")
-        object.__setattr__(self, "bindings", tuple((n, s) for n, s in self.bindings))
+    __slots__ = ("_kind", "_bindings", "_body")
+
+    def __new__(
+        cls,
+        kind: str,
+        bindings: Sequence[tuple[str, Sort]],
+        body: Term,
+    ) -> "Quantifier":
+        if kind not in ("forall", "exists"):
+            raise ValueError(f"unknown quantifier kind: {kind}")
+        bindings = tuple((n, s) for n, s in bindings)
+        key = ("Quantifier", kind, bindings, body)
+        return cls._intern(  # type: ignore[return-value]
+            key, BOOL, (("_kind", kind), ("_bindings", bindings), ("_body", body))
+        )
 
     @property
-    def sort(self) -> Sort:  # type: ignore[override]
-        return BOOL
+    def kind(self) -> str:
+        return self._kind
+
+    @property
+    def bindings(self) -> tuple[tuple[str, Sort], ...]:
+        return self._bindings
+
+    @property
+    def body(self) -> Term:
+        return self._body
 
     def children(self) -> tuple[Term, ...]:
-        return (self.body,)
+        return (self._body,)
+
+    def __repr__(self) -> str:
+        return f"Quantifier(kind={self._kind!r}, bindings={self._bindings!r}, body={self._body!r})"
+
+    def __reduce__(self):
+        return (Quantifier, (self._kind, self._bindings, self._body))
 
 
-@dataclass(frozen=True)
 class Let(Term):
-    """A parallel ``let`` term; ``bindings`` are (name, term) pairs."""
+    """A parallel ``let`` term; ``bindings`` are (name, term) pairs.
 
-    bindings: tuple[tuple[str, Term], ...]
-    body: Term
+    The sort is the body's sort, cached at construction.
+    """
 
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "bindings", tuple((n, t) for n, t in self.bindings))
+    __slots__ = ("_bindings", "_body")
+
+    def __new__(cls, bindings: Sequence[tuple[str, Term]], body: Term) -> "Let":
+        bindings = tuple((n, t) for n, t in bindings)
+        key = ("Let", bindings, body)
+        return cls._intern(  # type: ignore[return-value]
+            key, body.sort, (("_bindings", bindings), ("_body", body))
+        )
 
     @property
-    def sort(self) -> Sort:  # type: ignore[override]
-        return self.body.sort
+    def bindings(self) -> tuple[tuple[str, Term], ...]:
+        return self._bindings
+
+    @property
+    def body(self) -> Term:
+        return self._body
 
     def children(self) -> tuple[Term, ...]:
-        return tuple(t for _, t in self.bindings) + (self.body,)
+        return tuple(t for _, t in self._bindings) + (self._body,)
+
+    def __repr__(self) -> str:
+        return f"Let(bindings={self._bindings!r}, body={self._body!r})"
+
+    def __reduce__(self):
+        return (Let, (self._bindings, self._body))
+
+
+# ---------------------------------------------------------------------------
+# Binder-scope bookkeeping shared by the scope-threading passes.
+# ---------------------------------------------------------------------------
+
+
+def push_scope(bound: dict, bindings) -> list:
+    """Enter binder ``bindings`` ((name, value) pairs) by mutating ``bound``;
+    return the shadowed entries for :func:`pop_scope`.
+
+    Mutate-and-restore keeps deep binder chains linear where copying the
+    scope dict per level would be quadratic; the type checker and the
+    evaluator both thread their scopes through this pair.
+    """
+    saved = [(name, bound.get(name)) for name, _ in bindings]
+    for name, value in bindings:
+        bound[name] = value
+    return saved
+
+
+def pop_scope(bound: dict, saved: list) -> None:
+    """Undo a :func:`push_scope`, restoring shadowed entries."""
+    for name, old in saved:
+        if old is None:
+            bound.pop(name, None)
+        else:
+            bound[name] = old
 
 
 # ---------------------------------------------------------------------------
@@ -173,23 +403,32 @@ class Let(Term):
 # ---------------------------------------------------------------------------
 
 
-def _collect_free_symbols(term: Term, bound: frozenset[str], out: dict[str, Sort]) -> None:
+def _collect_free_symbols(
+    term: Term, bound: frozenset[str], out: dict[str, Sort], seen: set
+) -> None:
+    # A (term, bound-set) pair always contributes the same names, so with
+    # hash-consed sharing each distinct pair is visited once — keeping the
+    # walk linear in DAG size rather than tree size.
+    key = (term, bound)
+    if key in seen:
+        return
+    seen.add(key)
     if isinstance(term, Symbol):
         if term.name not in bound:
             out.setdefault(term.name, term.sort)
         return
     if isinstance(term, Quantifier):
         inner = bound | {name for name, _ in term.bindings}
-        _collect_free_symbols(term.body, inner, out)
+        _collect_free_symbols(term.body, inner, out, seen)
         return
     if isinstance(term, Let):
         for _, value in term.bindings:
-            _collect_free_symbols(value, bound, out)
+            _collect_free_symbols(value, bound, out, seen)
         inner = bound | {name for name, _ in term.bindings}
-        _collect_free_symbols(term.body, inner, out)
+        _collect_free_symbols(term.body, inner, out, seen)
         return
     for child in term.children():
-        _collect_free_symbols(child, bound, out)
+        _collect_free_symbols(child, bound, out, seen)
 
 
 def substitute(term: Term, mapping: Mapping[str, Term]) -> Term:
@@ -208,7 +447,11 @@ def _substitute(term: Term, mapping: dict[str, Term]) -> Term:
     if isinstance(term, Symbol):
         return mapping.get(term.name, term)
     if isinstance(term, Apply):
-        new_args = tuple(_substitute(arg, mapping) for arg in term.args)
+        # Plain loop, not a genexpr, so deep chains substitute in linear time.
+        rewritten = []
+        for arg in term.args:
+            rewritten.append(_substitute(arg, mapping))
+        new_args = tuple(rewritten)
         if new_args == term.args:
             return term
         return Apply(term.op, new_args, term.sort, term.indices)
@@ -227,8 +470,9 @@ def _substitute(term: Term, mapping: dict[str, Term]) -> Term:
 
 
 def replace_subterm(term: Term, target: Term, replacement: Term) -> Term:
-    """Return ``term`` with the first occurrence of ``target`` (by identity or
-    equality) replaced by ``replacement``.
+    """Return ``term`` with the first occurrence of ``target`` (by identity —
+    which, with interning, *is* structural equality) replaced by
+    ``replacement``.
 
     Structure-sharing: any node whose descendants are all unchanged is
     returned as-is (``is``-identical), so untouched siblings of the replaced
@@ -325,6 +569,8 @@ __all__ = [
     "Let",
     "substitute",
     "replace_subterm",
+    "intern_stats",
+    "reset_intern_stats",
     "TRUE",
     "FALSE",
     "int_const",

@@ -13,6 +13,13 @@ Two entry points:
 * :func:`check` — recursively verify that an already-built term is
   well-sorted, i.e. every node's stored sort agrees with what the signature
   table (and the declaration context, for free symbols) derives.
+
+With the hash-consed term core, ``check`` doubles as the simplifier's
+safety net: every rewrite rule is sort-preserving, so
+``check(simplify(t))`` must succeed at ``t.sort`` — the test suite
+enforces this across the whole corpus.  :func:`well_sorted` wraps
+``check`` as a predicate for callers (benchmarks, generators) that only
+need a verdict.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from .sorts import (
     relation_sort,
     tuple_sort,
 )
-from .terms import Apply, Constant, Let, Quantifier, Symbol, Term
+from .terms import Apply, Constant, Let, Quantifier, Symbol, Term, pop_scope, push_scope
 
 SignatureRule = Callable[[str, tuple[int, ...], tuple[Sort, ...]], Sort]
 
@@ -725,8 +732,22 @@ def check(term: Term, context: Optional[DeclarationContext] = None) -> Sort:
     bodies must agree with the stored sort.  When ``context`` is given, free
     symbols must match their declared zero-arity signatures.  Raises
     :class:`TypeCheckError` or :class:`~repro.errors.UnknownSymbolError`.
+
+    The checker memoizes per binder scope: with hash-consed terms a subterm
+    shared by many parents inside one scope is verified once, so checking
+    is linear in DAG size; the bound-variable dict is mutated and restored
+    around binders, so deep binder chains are linear too.
     """
-    return _check(term, context, {})
+    return _check(term, context, {}, {})
+
+
+def well_sorted(term: Term, context: Optional[DeclarationContext] = None) -> bool:
+    """Predicate form of :func:`check`: ``True`` when the term passes."""
+    try:
+        check(term, context)
+    except (TypeCheckError, UnknownSymbolError):
+        return False
+    return True
 
 
 def reject_duplicate_names(what: str, names: list[str], exc: type = TypeCheckError) -> None:
@@ -739,7 +760,32 @@ def reject_duplicate_names(what: str, names: list[str], exc: type = TypeCheckErr
         seen.add(name)
 
 
-def _check(term: Term, context: Optional[DeclarationContext], bound: dict[str, Sort]) -> Sort:
+def _check(
+    term: Term,
+    context: Optional[DeclarationContext],
+    bound: dict[str, Sort],
+    cache: dict[Term, Sort],
+) -> Sort:
+    # ``cache`` is the memo for the *current binder scope*: shared subterms
+    # inside one scope are verified once (O(1) per node thanks to
+    # hash-consing), and each binder opens a fresh cache that dies with the
+    # scope, so memory stays proportional to the live binder path.  The
+    # single ``bound`` dict is mutated and restored around binders rather
+    # than copied, keeping deep binder chains linear.
+    cached = cache.get(term)
+    if cached is not None:
+        return cached
+    sort = _check_uncached(term, context, bound, cache)
+    cache[term] = sort
+    return sort
+
+
+def _check_uncached(
+    term: Term,
+    context: Optional[DeclarationContext],
+    bound: dict[str, Sort],
+    cache: dict[Term, Sort],
+) -> Sort:
     if isinstance(term, Constant):
         check_constant(term)
         return term.sort
@@ -763,7 +809,11 @@ def _check(term: Term, context: Optional[DeclarationContext], bound: dict[str, S
             )
         return term.sort
     if isinstance(term, Apply):
-        arg_sorts = tuple(_check(arg, context, bound) for arg in term.args)
+        # Plain loop, not a genexpr, so deep chains check in linear time.
+        checked = []
+        for arg in term.args:
+            checked.append(_check(arg, context, bound, cache))
+        arg_sorts = tuple(checked)
         # Same rule as the parser: a bound variable shadows even builtin
         # operator names, and bound variables can never be applied.
         if term.op in bound:
@@ -782,9 +832,11 @@ def _check(term: Term, context: Optional[DeclarationContext], bound: dict[str, S
         if not term.bindings:
             raise TypeCheckError("quantifier with no bindings")
         reject_duplicate_names("quantifier", [n for n, _ in term.bindings])
-        inner = dict(bound)
-        inner.update(term.bindings)
-        body_sort = _check(term.body, context, inner)
+        saved = push_scope(bound, term.bindings)
+        try:
+            body_sort = _check(term.body, context, bound, {})
+        finally:
+            pop_scope(bound, saved)
         if body_sort != BOOL:
             raise TypeCheckError(f"quantifier body must be Bool, got {body_sort}")
         return BOOL
@@ -792,10 +844,15 @@ def _check(term: Term, context: Optional[DeclarationContext], bound: dict[str, S
         if not term.bindings:
             raise TypeCheckError("let with no bindings")
         reject_duplicate_names("let", [n for n, _ in term.bindings])
-        inner = dict(bound)
+        # Values are checked in the enclosing scope (parallel let).
+        value_sorts = []
         for name, value in term.bindings:
-            inner[name] = _check(value, context, bound)
-        return _check(term.body, context, inner)
+            value_sorts.append((name, _check(value, context, bound, cache)))
+        saved = push_scope(bound, value_sorts)
+        try:
+            return _check(term.body, context, bound, {})
+        finally:
+            pop_scope(bound, saved)
     raise TypeCheckError(f"unknown term node: {term!r}")
 
 
@@ -809,13 +866,13 @@ def check_script(script) -> None:
             # Parameters are bound variables (they may shadow declarations),
             # not declarations of their own.
             reject_duplicate_names("define-fun parameter", [n for n, _ in command.params])
-            body_sort = _check(command.body, context, dict(command.params))
+            body_sort = _check(command.body, context, dict(command.params), {})
             if body_sort != command.result:
                 raise TypeCheckError(
                     f"define-fun {command.name!r} declares result {command.result}, body has {body_sort}"
                 )
         elif isinstance(command, Assert):
-            if _check(command.term, context, {}) != BOOL:
+            if _check(command.term, context, {}, {}) != BOOL:
                 raise TypeCheckError("asserted term must be Bool")
         apply_command(command, context)
 
@@ -829,4 +886,5 @@ __all__ = [
     "check_constant",
     "check",
     "check_script",
+    "well_sorted",
 ]

@@ -1,0 +1,124 @@
+"""Printer/lexer edge-case coverage: quoted-symbol and string-escaping
+round-trips, negative numerals via ``(- n)``, and the
+``parse(print(simplify(s)))`` fixpoint across the whole corpus."""
+
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+from repro.errors import PrinterError
+from repro.smtlib import (
+    parse_script,
+    parse_term,
+    script_to_smtlib,
+    simplify_script,
+    symbol_to_smtlib,
+    term_to_smtlib,
+)
+from repro.smtlib.sorts import INT, REAL
+from repro.smtlib.terms import Constant, int_const, real_const, string_const
+
+CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.smt2"))
+
+
+# -- Quoted symbols ----------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["weird name", "a(b)c", "with;semicolon", "let", "forall", "as", "_", "1leading"],
+)
+def test_quoted_symbol_round_trips(name):
+    quoted = symbol_to_smtlib(name)
+    assert quoted == f"|{name}|"
+    script = parse_script(f"(declare-const {quoted} Int)\n(assert (= {quoted} 0))\n")
+    text = script_to_smtlib(script)
+    assert parse_script(text) == script
+    assert quoted in text
+
+
+def test_unquotable_symbol_raises():
+    with pytest.raises(PrinterError):
+        symbol_to_smtlib("has|pipe")
+    with pytest.raises(PrinterError):
+        symbol_to_smtlib("has\\backslash")
+
+
+def test_quoted_simple_symbol_canonicalises_to_plain():
+    # |x| and x denote the same symbol, so they must parse to one node.
+    script_a = parse_script("(declare-const |x| Int)\n(assert (= x 0))\n")
+    script_b = parse_script("(declare-const x Int)\n(assert (= |x| 0))\n")
+    assert script_a == script_b
+
+
+# -- String escaping ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "value,printed",
+    [
+        ('say "hi"', '"say ""hi"""'),
+        ('""', '""""""'),
+        ("", '""'),
+        ("back\\slash", '"back\\slash"'),
+        ("tab\there", '"tab\there"'),
+    ],
+)
+def test_string_escaping_round_trips(value, printed):
+    constant = string_const(value)
+    assert term_to_smtlib(constant) == printed
+    assert parse_term(printed) is constant
+
+
+# -- Negative numerals -------------------------------------------------------
+
+
+def test_negative_int_prints_as_negation_application():
+    assert term_to_smtlib(int_const(-5)) == "(- 5)"
+    # (- 5) reparses as an application, which evaluates/simplifies back to
+    # the same value; the printed text is a fixpoint from the first round.
+    reparsed = parse_term("(- 5)")
+    assert term_to_smtlib(reparsed) == "(- 5)"
+    from repro.smtlib import simplify
+
+    assert simplify(reparsed) is int_const(-5)
+
+
+def test_negative_real_prints_as_negation_application():
+    assert term_to_smtlib(real_const(Fraction(-3, 2))) == "(- 1.5)"
+    assert term_to_smtlib(real_const(Fraction(-1, 3))) == "(- (/ 1.0 3.0))"
+    assert term_to_smtlib(Constant(Fraction(1, 3), REAL)) == "(/ 1.0 3.0)"
+    reparsed = parse_term("(- (/ 1.0 3.0))")
+    assert term_to_smtlib(reparsed) == "(- (/ 1.0 3.0))"
+
+
+def test_negative_numerals_inside_scripts_round_trip():
+    script = parse_script(
+        "(declare-const x Int)\n(assert (< x (- 5)))\n(assert (= x (- 0 7)))\n"
+    )
+    text = script_to_smtlib(script)
+    assert parse_script(text) == script
+
+
+# -- parse(print(simplify(s))) fixpoint over the corpus ----------------------
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_simplify_print_parse_fixpoint(path):
+    script = parse_script(path.read_text())
+    simplified = simplify_script(script)
+    text = script_to_smtlib(simplified)
+    reparsed = parse_script(text)
+    # The printed simplified script is a round-trip fixpoint...
+    assert script_to_smtlib(reparsed) == text
+    assert parse_script(script_to_smtlib(reparsed)) == reparsed
+    # ...and re-simplifying the reparsed script changes nothing further
+    # (reparsing can only introduce (- n) applications, which fold back).
+    assert script_to_smtlib(simplify_script(reparsed)) == text
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_plain_round_trip_still_holds(path):
+    script = parse_script(path.read_text())
+    assert parse_script(script_to_smtlib(script)) == script

@@ -1,0 +1,159 @@
+"""Tests for the ground-term evaluator and the shared literal operator
+table: SMT-LIB semantics for Euclidean division, total bit-vector division,
+string operations, short-circuiting, and evaluation errors."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.smtlib import DeclarationContext, evaluate, evaluate_value, parse_term, simplify
+from repro.smtlib.sorts import BOOL, INT
+from repro.smtlib.terms import Constant, int_const
+
+
+def ev(text, bindings=None):
+    return evaluate_value(parse_term(text, _ctx()), bindings)
+
+
+def _ctx():
+    context = DeclarationContext()
+    context.declare_const("x", INT)
+    return context
+
+
+# -- Core --------------------------------------------------------------------
+
+
+def test_core_semantics():
+    assert ev("(and true true false)") is False
+    assert ev("(or false true)") is True
+    assert ev("(xor true true true)") is True
+    assert ev("(=> true false)") is False
+    assert ev("(=> false false)") is True
+    assert ev("(= 1 1 1)") is True
+    assert ev("(distinct 1 2 3)") is True
+    assert ev("(distinct 1 2 1)") is False
+    assert ev("(ite (< 1 2) 10 20)") == 10
+    assert ev("(not false)") is True
+
+
+def test_short_circuit_skips_unevaluable_branches():
+    # and/or/ite must not evaluate arguments the logic does not need:
+    # (div 1 0) is unspecified and would otherwise raise.
+    assert ev("(and false (= (div 1 0) 0))") is False
+    assert ev("(or true (= (div 1 0) 0))") is True
+    assert ev("(ite true 1 (div 1 0))") == 1
+
+
+# -- Ints / Reals ------------------------------------------------------------
+
+
+def test_euclidean_div_mod():
+    # SMT-LIB div/mod: 0 <= mod < |divisor|.
+    assert ev("(div 7 2)") == 3 and ev("(mod 7 2)") == 1
+    assert ev("(div (- 7) 2)") == -4 and ev("(mod (- 7) 2)") == 1
+    assert ev("(div 7 (- 2))") == -3 and ev("(mod 7 (- 2))") == 1
+    assert ev("(div (- 7) (- 2))") == 4 and ev("(mod (- 7) (- 2))") == 1
+
+
+def test_real_arithmetic_is_exact():
+    assert ev("(/ 1.0 3.0)") == Fraction(1, 3)
+    assert ev("(+ 0.1 0.2)") == Fraction(3, 10)
+    assert ev("(to_int 3.7)") == 3
+    assert ev("(to_int (- 3.7))") == -4  # floor
+    assert ev("(is_int 2.0)") is True
+    assert ev("(to_real 2)") == Fraction(2)
+    assert ev("((_ divisible 3) 9)") is True
+
+
+def test_division_by_zero_is_unspecified():
+    with pytest.raises(EvaluationError):
+        ev("(div 1 0)")
+    with pytest.raises(EvaluationError):
+        ev("(mod 1 0)")
+    with pytest.raises(EvaluationError):
+        ev("(/ 1.0 0.0)")
+
+
+# -- BitVec ------------------------------------------------------------------
+
+
+def test_bitvec_semantics():
+    assert ev("(bvadd #xff #x02)") == 1  # wraps
+    assert ev("(bvudiv #x05 #x00)") == 255  # total: all-ones
+    assert ev("(bvurem #x05 #x00)") == 5  # total: dividend
+    assert ev("(bvsdiv #xf8 #x02)") == 0xFC  # -8 / 2 = -4
+    assert ev("(bvsrem #xf8 #x03)") == 0xFE  # -8 rem 3 = -2 (dividend sign)
+    assert ev("(bvsmod #xf8 #x03)") == 0x01  # -8 smod 3 = 1 (divisor sign)
+    assert ev("(bvshl #x01 #x09)") == 0  # over-shift
+    assert ev("(bvashr #x80 #x01)") == 0xC0  # arithmetic shift keeps sign
+    assert ev("(concat #b1 #b0)") == 2
+    assert ev("((_ extract 3 0) #xab)") == 0xB
+    assert ev("((_ sign_extend 8) #x80)") == 0xFF80
+    assert ev("((_ rotate_right 4) #xab)") == 0xBA
+    assert ev("((_ repeat 2) #xa)") == 0xAA
+    assert ev("(bvslt #xff #x00)") is True  # -1 < 0
+
+
+# -- Strings -----------------------------------------------------------------
+
+
+def test_string_semantics():
+    assert ev('(str.++ "a" "b" "c")') == "abc"
+    assert ev('(str.len "abc")') == 3
+    assert ev('(str.at "abc" 5)') == ""
+    assert ev('(str.substr "abc" 1 10)') == "bc"
+    assert ev('(str.substr "abc" 5 1)') == ""
+    assert ev('(str.indexof "abcabc" "bc" 2)') == 4
+    assert ev('(str.indexof "abc" "z" 0)') == -1
+    assert ev('(str.replace "aaa" "a" "b")') == "baa"
+    assert ev('(str.replace_all "aaa" "a" "b")') == "bbb"
+    assert ev('(str.to_int "007")') == 7
+    assert ev('(str.to_int "-7")') == -1
+    assert ev("(str.from_int (- 7))") == ""
+    assert ev('(str.prefixof "ab" "abc")') is True
+    assert ev('(str.suffixof "bc" "abc")') is True
+    assert ev('(str.contains "abc" "z")') is False
+
+
+# -- Environments and errors -------------------------------------------------
+
+
+def test_environment_bindings():
+    term = parse_term("(+ x 1)", _ctx())
+    assert evaluate_value(term, {"x": int_const(41)}) == 42
+    assert evaluate(term, {"x": int_const(41)}) is int_const(42)
+
+
+def test_binding_sort_mismatch_raises():
+    term = parse_term("(+ x 1)", _ctx())
+    with pytest.raises(EvaluationError):
+        evaluate(term, {"x": Constant(True, BOOL)})
+
+
+def test_free_symbol_raises():
+    with pytest.raises(EvaluationError):
+        ev("(+ x 1)")
+
+
+def test_quantifier_raises():
+    context = _ctx()
+    term = parse_term("(forall ((q Int)) (< q x))", context)
+    with pytest.raises(EvaluationError):
+        evaluate(term, {"x": int_const(0)})
+
+
+def test_let_evaluates_bindings_in_parallel():
+    assert ev("(let ((a 1) (b 2)) (let ((a b) (b a)) (- a b)))") == 1
+
+
+def test_simplify_and_evaluate_agree_on_ground_terms():
+    for text in [
+        "(+ 1 (* 2 3) (- 4))",
+        "(ite (< 3 2) 1 (div 9 2))",
+        "(bvadd (bvmul #x03 #x05) #x01)",
+        '(str.len (str.++ "ab" "cd"))',
+    ]:
+        term = parse_term(text)
+        assert simplify(term) is evaluate(term)
