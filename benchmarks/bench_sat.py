@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Benchmark harness for the CNF pipeline and the CDCL solver.
+
+Three classic workload families, all deterministic:
+
+* ``pigeonhole`` — PHP(n+1, n) as direct CNF clauses: resolution-hard,
+  always unsat; stresses conflict analysis, learning and restarts.
+* ``random_3sat`` — uniform 3-SAT at the phase-transition ratio m/n = 4.26
+  (fixed seeds): the classic mixed sat/unsat stress test.
+* ``xor_chain_sat`` / ``xor_chain_unsat`` — chained parity constraints
+  built as *terms* and lowered through ``to_nnf`` + Tseitin, so this family
+  measures the whole cnf pipeline, not just the solver.
+
+Per workload the harness reports CNF size (vars/clauses), the answer,
+solver statistics and wall-clock split into encode and solve phases.
+Results are printed as a table and written as JSON (``BENCH_sat.json``),
+the same shape as ``BENCH_simplify.json``, so CI can archive and
+regression-gate them.  ``--smoke`` shrinks the sizes and verifies every
+expected answer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sat.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+sys.setrecursionlimit(1_000_000)
+
+from repro.sat import Solver  # noqa: E402
+from repro.smtlib import (  # noqa: E402
+    BOOL,
+    Apply,
+    Symbol,
+    TseitinEncoder,
+    bool_const,
+    to_nnf,
+)
+
+PHASE_TRANSITION_RATIO = 4.26
+RANDOM_3SAT_SEEDS = (0, 1, 2)
+
+
+# ---------------------------------------------------------------------------
+# Clause-level generators.
+# ---------------------------------------------------------------------------
+
+
+def pigeonhole_clauses(holes: int) -> list[list[int]]:
+    """PHP(holes+1, holes): every pigeon in a hole, no hole shared."""
+    pigeons = holes + 1
+
+    def var(i: int, j: int) -> int:
+        return i * holes + j + 1
+
+    clauses = [[var(i, j) for j in range(holes)] for i in range(pigeons)]
+    for j in range(holes):
+        for a in range(pigeons):
+            for b in range(a + 1, pigeons):
+                clauses.append([-var(a, j), -var(b, j)])
+    return clauses
+
+
+def random_3sat_clauses(num_vars: int, seed: int) -> list[list[int]]:
+    rng = random.Random(seed)
+    num_clauses = round(PHASE_TRANSITION_RATIO * num_vars)
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return clauses
+
+
+# ---------------------------------------------------------------------------
+# Term-level generators (exercise to_nnf + Tseitin).
+# ---------------------------------------------------------------------------
+
+
+def xor_chain_terms(length: int, satisfiable: bool):
+    """Parity constraints over a chain: ``z_i = x_i xor z_{i-1}``, with the
+    chain head pinned and the overall parity asserted both through the
+    chain and directly over the ``x_i`` — consistent when ``satisfiable``,
+    a parity contradiction otherwise."""
+    xs = [Symbol(f"x{i}", BOOL) for i in range(length)]
+    zs = [Symbol(f"z{i}", BOOL) for i in range(length)]
+    assertions = [Apply("=", (zs[0], xs[0]), BOOL)]
+    for i in range(1, length):
+        step = Apply("xor", (xs[i], zs[i - 1]), BOOL)
+        assertions.append(Apply("=", (zs[i], step), BOOL))
+    # The chain end states the parity of all x's; assert it twice, once
+    # negated, to force a contradiction when requested.
+    direct = Apply("xor", tuple(xs), BOOL)
+    assertions.append(Apply("=", (zs[-1], direct), BOOL))
+    if not satisfiable:
+        assertions.append(Apply("xor", (zs[-1], direct), BOOL))
+    return assertions
+
+
+# ---------------------------------------------------------------------------
+# Runners.
+# ---------------------------------------------------------------------------
+
+
+def run_clause_workload(name: str, n: int, clauses: list[list[int]], expected, verify):
+    num_vars = max(abs(lit) for clause in clauses for lit in clause)
+    solver = Solver(num_vars)
+    t0 = time.perf_counter()
+    solver.add_clauses(clauses)
+    encode_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    answer = solver.solve()
+    solve_s = time.perf_counter() - t0
+    if verify and expected is not None:
+        assert answer == expected, (name, answer, expected)
+    if verify and answer == "sat":
+        model = solver.model
+        assert all(any((lit > 0) == model[abs(lit)] for lit in c) for c in clauses), name
+    return _row(name, n, num_vars, len(clauses), answer, solver, encode_s, solve_s)
+
+
+def run_term_workload(name: str, n: int, assertions, expected, verify):
+    t0 = time.perf_counter()
+    encoder = TseitinEncoder()
+    for term in assertions:
+        encoder.assert_term(to_nnf(term))
+    formula = encoder.formula
+    solver = Solver(formula.num_vars)
+    solver.add_clauses(formula.clauses)
+    encode_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    answer = solver.solve()
+    solve_s = time.perf_counter() - t0
+    if verify and expected is not None:
+        assert answer == expected, (name, answer, expected)
+    if verify and answer == "sat":
+        from repro.smtlib import TRUE, evaluate
+
+        model = solver.model
+        env = {atom.name: bool_const(model[var]) for atom, var in formula.atom_vars.items()}
+        assert all(evaluate(term, env) is TRUE for term in assertions), name
+    return _row(name, n, formula.num_vars, len(formula.clauses), answer, solver, encode_s, solve_s)
+
+
+def _row(name, n, num_vars, num_clauses, answer, solver, encode_s, solve_s):
+    return {
+        "workload": name,
+        "n": n,
+        "nodes": {"vars": num_vars, "clauses": num_clauses},
+        "answer": answer,
+        "solver": {
+            key: solver.stats[key]
+            for key in ("conflicts", "decisions", "propagations", "restarts", "learned")
+        },
+        "seconds": {"encode": round(encode_s, 6), "solve": round(solve_s, 6)},
+    }
+
+
+def run_random_3sat(n: int, verify: bool):
+    """Aggregate the fixed-seed instances into one row (answers vary by
+    seed, so the row records the answer multiset)."""
+    total_encode = total_solve = 0.0
+    answers = []
+    stats = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0, "learned": 0}
+    num_vars = num_clauses = 0
+    for seed in RANDOM_3SAT_SEEDS:
+        clauses = random_3sat_clauses(n, seed)
+        solver = Solver(n)
+        t0 = time.perf_counter()
+        solver.add_clauses(clauses)
+        total_encode += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        answer = solver.solve()
+        total_solve += time.perf_counter() - t0
+        answers.append(answer)
+        if verify and answer == "sat":
+            model = solver.model
+            assert all(any((lit > 0) == model[abs(lit)] for lit in c) for c in clauses)
+        for key in stats:
+            stats[key] += solver.stats[key]
+        num_vars, num_clauses = n, len(clauses)
+    return {
+        "workload": "random_3sat",
+        "n": n,
+        "nodes": {"vars": num_vars, "clauses": num_clauses},
+        "answer": ",".join(answers),
+        "solver": stats,
+        "seconds": {"encode": round(total_encode, 6), "solve": round(total_solve, 6)},
+    }
+
+
+def _run(args: argparse.Namespace) -> int:
+    verify = args.check or args.smoke
+    php_n = 4 if args.smoke else 7
+    sat3_n = 30 if args.smoke else 150
+    xor_n = 60 if args.smoke else 1200
+
+    results = [
+        run_clause_workload(
+            "pigeonhole", php_n, pigeonhole_clauses(php_n), "unsat", verify
+        ),
+        run_random_3sat(sat3_n, verify),
+        run_term_workload(
+            "xor_chain_sat", xor_n, xor_chain_terms(xor_n, True), "sat", verify
+        ),
+        run_term_workload(
+            "xor_chain_unsat", xor_n, xor_chain_terms(xor_n, False), "unsat", verify
+        ),
+    ]
+
+    header = (
+        f"{'workload':<16} {'n':>6} {'vars':>7} {'clauses':>8} {'answer':>12} "
+        f"{'conflicts':>10} {'encode_s':>9} {'solve_s':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in results:
+        print(
+            f"{row['workload']:<16} {row['n']:>6} {row['nodes']['vars']:>7} "
+            f"{row['nodes']['clauses']:>8} {row['answer']:>12} "
+            f"{row['solver']['conflicts']:>10} {row['seconds']['encode']:>9.4f} "
+            f"{row['seconds']['solve']:>9.4f}"
+        )
+
+    payload = {
+        "bench": "sat",
+        "mode": "smoke" if args.smoke else "full",
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small sizes + full verification")
+    parser.add_argument("--check", action="store_true", help="verify answers and models")
+    parser.add_argument("--out", default="BENCH_sat.json", help="JSON output path")
+    args = parser.parse_args(argv)
+    # Deep xor chains recurse through to_nnf/Tseitin; run in a worker
+    # thread with a large stack, mirroring bench_simplify.
+    outcome: list = []
+    threading.stack_size(512 * 1024 * 1024)
+    worker = threading.Thread(target=lambda: outcome.append(_run(args)))
+    worker.start()
+    worker.join()
+    return outcome[0] if outcome else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,6 @@ from repro.smtlib import (  # noqa: E402
     INT,
     STRING,
     Apply,
-    Constant,
     Let,
     Symbol,
     Term,
@@ -286,7 +285,10 @@ def _run(args: argparse.Namespace) -> int:
     if os.path.isdir(args.corpus):
         results.append(run_corpus(args.corpus, verify))
 
-    header = f"{'workload':<18} {'n':>7} {'dag_in':>8} {'dag_out':>8} {'hit_rate':>8} {'build_s':>9} {'simp_s':>9}"
+    header = (
+        f"{'workload':<18} {'n':>7} {'dag_in':>8} {'dag_out':>8} "
+        f"{'hit_rate':>8} {'build_s':>9} {'simp_s':>9}"
+    )
     print(header)
     print("-" * len(header))
     for row in results:

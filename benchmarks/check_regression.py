@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: compare fresh BENCH_*.json against baselines.
+
+For every fresh result file given on the command line, the matching
+baseline (same file name) is loaded from ``--baseline-dir`` and each
+workload's total wall-clock is compared.  The gate fails (exit 1) when any
+workload regressed by more than ``--threshold``× (default 2.5×, generous
+enough to absorb CI-runner noise).  Sub-floor timings (default 50 ms) are
+clamped before comparing, so micro-workloads cannot trip the gate on
+scheduler jitter and modest machine-speed differences between the
+baseline machine and the CI runner are absorbed for smoke-sized
+workloads.  Workloads present only on one side are reported but do
+not fail the gate, so adding a benchmark never requires a lockstep
+baseline update.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_simplify.json BENCH_sat.json \
+        [--baseline-dir benchmarks/baselines] [--threshold 2.5] [--floor 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+
+def workload_seconds(payload: dict) -> dict[str, float]:
+    """Total wall-clock per workload: the sum of its non-null phase timings."""
+    totals: dict[str, float] = {}
+    for row in payload.get("results", []):
+        seconds = row.get("seconds", {})
+        totals[row["workload"]] = sum(v for v in seconds.values() if v is not None)
+    return totals
+
+
+def compare(fresh_path: str, baseline_path: str, threshold: float, floor: float):
+    """Yield (workload, fresh_s, baseline_s, ratio, regressed) rows."""
+    with open(fresh_path, encoding="utf-8") as handle:
+        fresh = workload_seconds(json.load(handle))
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = workload_seconds(json.load(handle))
+    for workload in sorted(fresh.keys() | baseline.keys()):
+        fresh_s = fresh.get(workload)
+        baseline_s = baseline.get(workload)
+        if fresh_s is None or baseline_s is None:
+            yield workload, fresh_s, baseline_s, None, False
+            continue
+        ratio = max(fresh_s, floor) / max(baseline_s, floor)
+        yield workload, fresh_s, baseline_s, ratio, ratio > threshold
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", nargs="+", help="freshly generated BENCH_*.json files")
+    parser.add_argument(
+        "--baseline-dir",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines"),
+        help="directory holding the committed baseline JSONs",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.5,
+        help="fail when fresh wall-clock exceeds baseline by this factor",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.05,
+        help="clamp timings below this many seconds before comparing",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    header = f"{'workload':<20} {'baseline_s':>11} {'fresh_s':>9} {'ratio':>7}  status"
+    for fresh_path in args.fresh:
+        baseline_path = os.path.join(args.baseline_dir, os.path.basename(fresh_path))
+        print(f"== {fresh_path} vs {baseline_path}")
+        if not os.path.exists(baseline_path):
+            print("   no baseline found; skipping (commit one to enable the gate)")
+            continue
+        print(header)
+        print("-" * len(header))
+        for workload, fresh_s, baseline_s, ratio, regressed in compare(
+            fresh_path, baseline_path, args.threshold, args.floor
+        ):
+            if ratio is None:
+                side = "baseline" if fresh_s is None else "fresh"
+                print(f"{workload:<20} {'-':>11} {'-':>9} {'-':>7}  only in {side}")
+                continue
+            status = "REGRESSED" if regressed else "ok"
+            print(
+                f"{workload:<20} {baseline_s:>11.4f} {fresh_s:>9.4f} {ratio:>6.2f}x  {status}"
+            )
+            if regressed:
+                failures.append(f"{os.path.basename(fresh_path)}:{workload} ({ratio:.2f}x)")
+        print()
+    if failures:
+        print(f"FAIL: {len(failures)} workload(s) regressed beyond {args.threshold}x:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"OK: no workload regressed beyond {args.threshold}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

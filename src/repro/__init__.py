@@ -1,15 +1,35 @@
 """Reproduction library for conf_asplos_SunYZ26.
 
-Subpackages:
+Subpackages and modules:
 
 * :mod:`repro.smtlib` — the SMT-LIB front end: lexer, s-expressions, sorts,
-  terms, script parser, type checker and round-trip printer.
+  terms, script parser, type checker, simplifier/evaluator, CNF lowering
+  and round-trip printer.
+* :mod:`repro.sat` — the CDCL propositional solver (two-watched-literal
+  propagation, first-UIP learning, VSIDS decay, Luby restarts) plus DIMACS
+  import/export.
+* :mod:`repro.engine` — script execution: runs ``assert`` /
+  ``check-sat`` / ``get-model`` / ``get-value`` / ``push`` / ``pop`` and
+  decides quantifier-free boolean structure (``python -m repro`` is the
+  CLI).
 * :mod:`repro.errors` — the shared exception hierarchy.
 """
 
 from . import errors
+from .engine import CheckSatResult, Engine, ScriptResult, run_script, solve_script
 from .errors import ReproError, SmtLibError, SolverError
 
 __version__ = "0.1.0"
 
-__all__ = ["errors", "ReproError", "SmtLibError", "SolverError", "__version__"]
+__all__ = [
+    "errors",
+    "ReproError",
+    "SmtLibError",
+    "SolverError",
+    "Engine",
+    "CheckSatResult",
+    "ScriptResult",
+    "run_script",
+    "solve_script",
+    "__version__",
+]

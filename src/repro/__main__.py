@@ -1,0 +1,72 @@
+"""``python -m repro`` — decide SMT-LIB scripts from the command line.
+
+Reads each ``.smt2`` script, executes it with :class:`repro.engine.Engine`
+and prints the solver output: one ``sat``/``unsat``/``unknown`` line per
+``(check-sat)``, a ``(model ...)`` block per ``(get-model)`` and a value
+list per ``(get-value ...)``.  Exit status is 0 when every file was
+processed, 1 when any file failed to read, parse or type-check.
+
+Usage::
+
+    python -m repro file.smt2 [more.smt2 ...] [--stats] [--conflict-limit N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .engine import Engine
+from .errors import ReproError
+from .smtlib import parse_script
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Execute SMT-LIB scripts and decide their check-sat commands.",
+    )
+    parser.add_argument("paths", nargs="+", metavar="script.smt2", help="scripts to run")
+    parser.add_argument(
+        "--conflict-limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="answer unknown after N CDCL conflicts per check-sat",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-check-sat solver statistics as comment lines",
+    )
+    args = parser.parse_args(argv)
+
+    # Every pass is recursive over term depth; generated scripts nest deeply.
+    sys.setrecursionlimit(1_000_000)
+
+    status = 0
+    for path in args.paths:
+        if len(args.paths) > 1:
+            print(f"; {path}")
+        try:
+            script = parse_script(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ReproError) as exc:
+            print(f'(error "{path}: {exc}")', file=sys.stderr)
+            status = 1
+            continue
+        result = Engine(conflict_limit=args.conflict_limit).run(script)
+        for line in result.output:
+            print(line)
+        if args.stats:
+            for index, check in enumerate(result.check_results):
+                stats = check.stats
+                detail = ", ".join(f"{key}={stats[key]}" for key in sorted(stats))
+                reason = f" reason={check.reason}" if check.reason else ""
+                print(f"; check-sat #{index}: {check.answer}{reason} ({detail})")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

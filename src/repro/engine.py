@@ -1,0 +1,423 @@
+"""Script execution: run SMT-LIB commands and *decide* ``check-sat``.
+
+The engine executes a :class:`~repro.smtlib.script.Script` command by
+command, maintaining the assertion stack (``push``/``pop``), the scoped
+``define-fun`` table and the declared constants.  Each ``check-sat`` runs
+the solving pipeline:
+
+1. **Inline** ``define-fun`` applications (beta reduction over the
+   hash-consed DAG) and **expand** ``let`` binders, so the remaining term
+   mentions declared symbols only.
+2. **Simplify** via :func:`repro.smtlib.simplify.simplify` — this is where
+   the PR-2 evaluator pre-folds ground theory atoms (``(< 1 2)`` → ``true``)
+   through the shared literal operator table.
+3. **NNF** via :func:`repro.smtlib.simplify.to_nnf` (polarity-tracked, so
+   shared DAG nodes stay shared), then **Tseitin-encode** the boolean
+   skeleton (:mod:`repro.smtlib.cnf`) and run the CDCL solver
+   (:mod:`repro.sat`).
+
+Answer semantics keep the engine *sound*:
+
+* ``unsat`` is reported whenever the CNF is unsatisfiable.  Theory atoms
+  (``(< x y)``, uninterpreted applications, quantified subterms) are
+  abstracted to fresh propositional variables — an over-approximation of
+  satisfiability, so propositional unsatisfiability implies real
+  unsatisfiability.
+* ``sat`` is reported (with a model) only when the skeleton is genuinely
+  propositional: every atom is a boolean :class:`Symbol` and every free
+  symbol of the asserted terms is ``Bool``-sorted.  The model then makes
+  :func:`repro.smtlib.evaluate.evaluate` return ``true`` on every asserted
+  term — the oracle the test suite enforces.
+* Anything else (a propositionally satisfiable abstraction of theory
+  structure, or an exhausted conflict budget) is ``unknown``.
+
+``define-fun`` expansion substitutes by name and is not capture-avoiding
+against quantifiers inside definition bodies; the engine targets
+quantifier-free skeletons, where no capture can occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .errors import SolverError
+from .sat import UNKNOWN, UNSAT, Solver
+from .smtlib.cnf import TseitinEncoder
+from .smtlib.parser import parse_script
+from .smtlib.printer import constant_to_smtlib, symbol_to_smtlib, term_to_smtlib
+from .smtlib.script import (
+    Assert,
+    CheckSat,
+    Command,
+    DeclareConst,
+    DeclareFun,
+    DefineFun,
+    Exit,
+    GetModel,
+    GetValue,
+    Pop,
+    Push,
+    Script,
+)
+from .smtlib.evaluate import evaluate
+from .smtlib.simplify import simplify, to_nnf
+from .smtlib.sorts import BOOL, Sort
+from .smtlib.terms import (
+    FALSE,
+    TRUE,
+    Apply,
+    Constant,
+    Let,
+    Quantifier,
+    Symbol,
+    Term,
+    bool_const,
+    substitute,
+)
+
+
+@dataclass
+class CheckSatResult:
+    """The outcome of one ``(check-sat)``.
+
+    ``assertions`` are the asserted terms active at the check, with
+    ``define-fun`` applications inlined and ``let`` binders expanded —
+    exactly the terms a ``sat`` model is guaranteed to satisfy under
+    :func:`~repro.smtlib.evaluate.evaluate`.  ``reason`` explains an
+    ``unknown`` answer.  ``stats`` carries solver counters plus the CNF
+    shape (``vars``, ``clauses``, ``atoms``).
+    """
+
+    answer: str
+    model: Optional[dict[str, Constant]] = None
+    assertions: tuple[Term, ...] = ()
+    reason: Optional[str] = None
+    stats: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ScriptResult:
+    """Everything one script run produced: per-``check-sat`` results and
+    the printable solver output (one entry per output-producing command)."""
+
+    check_results: list[CheckSatResult] = field(default_factory=list)
+    output: list[str] = field(default_factory=list)
+
+    @property
+    def answers(self) -> list[str]:
+        return [result.answer for result in self.check_results]
+
+
+class _Frame:
+    """One assertion-stack level: assertions plus scoped declarations."""
+
+    __slots__ = ("assertions", "definitions", "consts")
+
+    def __init__(self) -> None:
+        self.assertions: list[Term] = []
+        self.definitions: dict[str, DefineFun] = {}
+        self.consts: dict[str, Sort] = {}
+
+
+class Engine:
+    """Executes scripts; one instance per run (:meth:`run` resets state).
+
+    ``conflict_limit`` bounds the CDCL search per ``check-sat``; when
+    exhausted the answer is ``unknown`` with reason ``conflict-limit``.
+    """
+
+    def __init__(self, conflict_limit: Optional[int] = None) -> None:
+        self._conflict_limit = conflict_limit
+        self._frames: list[_Frame] = [_Frame()]
+        self._last: Optional[CheckSatResult] = None
+
+    # -- command loop -------------------------------------------------------
+
+    def run(self, script: Script) -> ScriptResult:
+        """Execute every command of ``script`` and collect the results."""
+        self._frames = [_Frame()]
+        self._last = None
+        result = ScriptResult()
+        for command in script.commands:
+            if isinstance(command, Exit):
+                break
+            self._execute(command, result)
+        return result
+
+    def _execute(self, command: Command, result: ScriptResult) -> None:
+        if isinstance(command, Assert):
+            self._frames[-1].assertions.append(command.term)
+        elif isinstance(command, CheckSat):
+            check = self._check_sat()
+            self._last = check
+            result.check_results.append(check)
+            result.output.append(check.answer)
+        elif isinstance(command, GetModel):
+            result.output.append(self._get_model())
+        elif isinstance(command, GetValue):
+            result.output.append(self._get_value(command.terms))
+        elif isinstance(command, Push):
+            for _ in range(command.levels):
+                self._frames.append(_Frame())
+        elif isinstance(command, Pop):
+            if command.levels >= len(self._frames):
+                raise SolverError(
+                    f"cannot pop {command.levels} level(s) at depth {len(self._frames)}"
+                )
+            del self._frames[len(self._frames) - command.levels :]
+        elif isinstance(command, DefineFun):
+            self._frames[-1].definitions[command.name] = command
+        elif isinstance(command, DeclareConst):
+            self._frames[-1].consts[command.name] = command.sort
+        elif isinstance(command, DeclareFun):
+            if not command.params:
+                self._frames[-1].consts[command.name] = command.result
+        # set-logic / set-option / set-info / declare-sort need no action.
+
+    # -- the check-sat pipeline ---------------------------------------------
+
+    def _check_sat(self) -> CheckSatResult:
+        definitions: dict[str, DefineFun] = {}
+        for frame in self._frames:
+            definitions.update(frame.definitions)
+        inline_memo: dict[tuple[Term, frozenset[str]], Term] = {}
+        let_memo: dict[Term, Term] = {}
+        prepared: list[Term] = []
+        for frame in self._frames:
+            for term in frame.assertions:
+                term = _inline_definitions(term, definitions, frozenset(), inline_memo)
+                term = _expand_lets(term, let_memo)
+                prepared.append(term)
+        prepared_tuple = tuple(prepared)
+
+        simplified = [simplify(term) for term in prepared]
+        if any(term is FALSE for term in simplified):
+            stats = dict.fromkeys(Solver().stats, 0)
+            stats.update(vars=0, clauses=0, atoms=0, trivial=1)
+            return CheckSatResult("unsat", assertions=prepared_tuple, stats=stats)
+        active = [term for term in simplified if term is not TRUE]
+
+        encoder = TseitinEncoder()
+        for term in active:
+            encoder.assert_term(to_nnf(term))
+        formula = encoder.formula
+
+        solver = Solver(formula.num_vars)
+        for clause in formula.clauses:
+            solver.add_clause(clause)
+        answer = solver.solve(self._conflict_limit)
+        stats = dict(solver.stats)
+        stats.update(
+            vars=formula.num_vars,
+            clauses=len(formula.clauses),
+            atoms=formula.num_atoms,
+        )
+
+        if answer == UNSAT:
+            return CheckSatResult("unsat", assertions=prepared_tuple, stats=stats)
+        if answer == UNKNOWN:
+            return CheckSatResult(
+                "unknown",
+                assertions=prepared_tuple,
+                reason="conflict-limit",
+                stats=stats,
+            )
+
+        # Propositionally satisfiable.  Only claim real satisfiability when
+        # the problem was genuinely propositional.
+        abstract = [atom for atom in formula.atom_vars if not isinstance(atom, Symbol)]
+        if abstract:
+            return CheckSatResult(
+                "unknown",
+                assertions=prepared_tuple,
+                reason="abstracted-atoms",
+                stats=stats,
+            )
+        free: dict[str, Sort] = {}
+        for term in prepared:
+            free.update(term.free_symbols())
+        if any(sort != BOOL for sort in free.values()):
+            return CheckSatResult(
+                "unknown",
+                assertions=prepared_tuple,
+                reason="non-boolean-symbols",
+                stats=stats,
+            )
+
+        assert solver.model is not None
+        model: dict[str, Constant] = {}
+        for atom, var in formula.atom_vars.items():
+            assert isinstance(atom, Symbol)
+            model[atom.name] = bool_const(solver.model[var])
+        # Symbols the simplifier eliminated are don't-cares; declared
+        # boolean constants the assertions never mention likewise.
+        for name in free:
+            model.setdefault(name, FALSE)
+        for frame in self._frames:
+            for name, sort in frame.consts.items():
+                if sort == BOOL:
+                    model.setdefault(name, FALSE)
+        return CheckSatResult("sat", model=model, assertions=prepared_tuple, stats=stats)
+
+    # -- model queries ------------------------------------------------------
+
+    def _get_model(self) -> str:
+        if self._last is None or self._last.model is None:
+            return '(error "no model available: last check-sat was not sat")'
+        lines = ["(model"]
+        for name in sorted(self._last.model):
+            value = self._last.model[name]
+            lines.append(
+                f"  (define-fun {symbol_to_smtlib(name)} () Bool"
+                f" {constant_to_smtlib(value)})"
+            )
+        lines.append(")")
+        return "\n".join(lines)
+
+    def _get_value(self, terms: tuple[Term, ...]) -> str:
+        if self._last is None or self._last.model is None:
+            return '(error "no model available: last check-sat was not sat")'
+        definitions: dict[str, DefineFun] = {}
+        for frame in self._frames:
+            definitions.update(frame.definitions)
+        inline_memo: dict[tuple[Term, frozenset[str]], Term] = {}
+        let_memo: dict[Term, Term] = {}
+        pairs = []
+        for term in terms:
+            prepared = _expand_lets(
+                _inline_definitions(term, definitions, frozenset(), inline_memo), let_memo
+            )
+            try:
+                value = evaluate(prepared, self._last.model)
+            except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+                return f'(error "cannot evaluate {term_to_smtlib(term)}: {exc}")'
+            pairs.append(f"({term_to_smtlib(term)} {constant_to_smtlib(value)})")
+        return "({})".format(" ".join(pairs))
+
+
+# ---------------------------------------------------------------------------
+# Definition inlining and let expansion.
+# ---------------------------------------------------------------------------
+
+
+def _inline_definitions(
+    term: Term,
+    definitions: dict[str, DefineFun],
+    shadowed: frozenset[str],
+    memo: dict[tuple[Term, frozenset[str]], Term],
+) -> Term:
+    """Beta-reduce every application (or nullary occurrence) of a defined
+    function.  ``shadowed`` holds binder names that hide same-named
+    definitions below them."""
+    if not definitions:
+        return term
+    key = (term, shadowed)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _inline_node(term, definitions, shadowed, memo)
+    memo[key] = result
+    return result
+
+
+def _inline_node(
+    term: Term,
+    definitions: dict[str, DefineFun],
+    shadowed: frozenset[str],
+    memo: dict[tuple[Term, frozenset[str]], Term],
+) -> Term:
+    if isinstance(term, Constant):
+        return term
+    if isinstance(term, Symbol):
+        definition = definitions.get(term.name)
+        if definition is not None and not definition.params and term.name not in shadowed:
+            return _inline_definitions(definition.body, definitions, frozenset(), memo)
+        return term
+    if isinstance(term, Apply):
+        rewritten = []
+        for arg in term.args:
+            rewritten.append(_inline_definitions(arg, definitions, shadowed, memo))
+        args = tuple(rewritten)
+        definition = definitions.get(term.op)
+        if definition is not None and not term.indices and term.op not in shadowed:
+            body = _inline_definitions(definition.body, definitions, frozenset(), memo)
+            mapping = {name: arg for (name, _), arg in zip(definition.params, args)}
+            return substitute(body, mapping)
+        if args == term.args:
+            return term
+        return Apply(term.op, args, term.sort, term.indices)
+    if isinstance(term, Quantifier):
+        inner = shadowed | {name for name, _ in term.bindings}
+        body = _inline_definitions(term.body, definitions, inner, memo)
+        if body is term.body:
+            return term
+        return Quantifier(term.kind, term.bindings, body)
+    if isinstance(term, Let):
+        bindings = tuple(
+            (name, _inline_definitions(value, definitions, shadowed, memo))
+            for name, value in term.bindings
+        )
+        inner = shadowed | {name for name, _ in term.bindings}
+        body = _inline_definitions(term.body, definitions, inner, memo)
+        return Let(bindings, body)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _expand_lets(term: Term, memo: dict[Term, Term]) -> Term:
+    """Substitute every ``let`` binder away (parallel-let semantics)."""
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    if isinstance(term, (Constant, Symbol)):
+        result: Term = term
+    elif isinstance(term, Apply):
+        rewritten = []
+        for arg in term.args:
+            rewritten.append(_expand_lets(arg, memo))
+        args = tuple(rewritten)
+        result = term if args == term.args else Apply(term.op, args, term.sort, term.indices)
+    elif isinstance(term, Quantifier):
+        body = _expand_lets(term.body, memo)
+        result = term if body is term.body else Quantifier(term.kind, term.bindings, body)
+    elif isinstance(term, Let):
+        mapping = {
+            name: _expand_lets(value, memo) for name, value in term.bindings
+        }
+        body = _expand_lets(term.body, memo)
+        result = substitute(body, mapping)
+    else:
+        raise TypeError(f"unknown term node: {term!r}")
+    memo[term] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+# ---------------------------------------------------------------------------
+
+
+def run_script(
+    source: Union[str, Script], conflict_limit: Optional[int] = None
+) -> ScriptResult:
+    """Parse (when given text) and execute a script; return the full
+    :class:`ScriptResult` including printable output."""
+    script = parse_script(source) if isinstance(source, str) else source
+    return Engine(conflict_limit=conflict_limit).run(script)
+
+
+def solve_script(
+    source: Union[str, Script], conflict_limit: Optional[int] = None
+) -> list[CheckSatResult]:
+    """Execute a script and return one :class:`CheckSatResult` per
+    ``(check-sat)``, in script order."""
+    return run_script(source, conflict_limit=conflict_limit).check_results
+
+
+__all__ = [
+    "CheckSatResult",
+    "ScriptResult",
+    "Engine",
+    "run_script",
+    "solve_script",
+]

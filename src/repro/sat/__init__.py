@@ -1,0 +1,28 @@
+"""The propositional satisfiability core.
+
+* :mod:`repro.sat.solver` — a CDCL solver: two-watched-literal unit
+  propagation, first-UIP conflict-clause learning, VSIDS-style variable
+  activity with exponential decay, phase saving, Luby restarts and
+  activity-driven learned-clause reduction.
+* :mod:`repro.sat.dimacs` — DIMACS CNF export/import so formulas can be
+  cross-checked against external solvers and test fixtures.
+
+Variables are positive integers ``1..n``; a *literal* is ``+v`` (the
+variable) or ``-v`` (its negation), exactly the DIMACS convention.  The
+solver knows nothing about terms: :mod:`repro.smtlib.cnf` lowers boolean
+term skeletons to this representation and :mod:`repro.engine` maps models
+back to SMT-LIB constants.
+"""
+
+from .dimacs import from_dimacs, to_dimacs
+from .solver import SAT, UNKNOWN, UNSAT, Solver, luby
+
+__all__ = [
+    "Solver",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "luby",
+    "to_dimacs",
+    "from_dimacs",
+]

@@ -1,0 +1,91 @@
+"""DIMACS CNF reading and writing.
+
+The interchange format every SAT tool speaks: a ``p cnf <vars> <clauses>``
+header, then whitespace-separated literals with each clause terminated by
+``0``.  ``c`` lines are comments; a ``%`` token ends the file (SATLIB
+convention).  :func:`from_dimacs` is the inverse of :func:`to_dimacs`:
+``from_dimacs(to_dimacs(n, clauses)) == (n, [tuple(c) for c in clauses])``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def to_dimacs(
+    num_vars: int,
+    clauses: Iterable[Sequence[int]],
+    comments: Iterable[str] = (),
+) -> str:
+    """Render a CNF formula in DIMACS format (with trailing newline)."""
+    clause_list = [tuple(clause) for clause in clauses]
+    lines = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {num_vars} {len(clause_list)}")
+    for clause in clause_list:
+        for lit in clause:
+            if lit == 0 or abs(lit) > num_vars:
+                raise ValueError(f"literal {lit} out of range for {num_vars} variable(s)")
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> tuple[int, list[tuple[int, ...]]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``.
+
+    Comment lines, blank lines, a trailing ``%`` end marker and clauses
+    spanning multiple lines are all accepted; literals beyond the declared
+    variable count, a missing header, or an unterminated final clause are
+    rejected with :class:`ValueError`.
+    """
+    num_vars: int | None = None
+    num_clauses: int | None = None
+    clauses: list[tuple[int, ...]] = []
+    current: list[int] = []
+    done = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("c"):
+            continue
+        if stripped.startswith("p"):
+            if num_vars is not None:
+                raise ValueError(f"line {line_number}: duplicate DIMACS header")
+            fields = stripped.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise ValueError(f"line {line_number}: malformed header {stripped!r}")
+            num_vars, num_clauses = int(fields[2]), int(fields[3])
+            if num_vars < 0 or num_clauses < 0:
+                raise ValueError(f"line {line_number}: negative header counts")
+            continue
+        if num_vars is None:
+            raise ValueError(f"line {line_number}: clause before 'p cnf' header")
+        for token in stripped.split():
+            if token == "%":
+                done = True
+                break
+            try:
+                lit = int(token)
+            except ValueError:
+                raise ValueError(f"line {line_number}: bad literal {token!r}") from None
+            if lit == 0:
+                clauses.append(tuple(current))
+                current.clear()
+            elif abs(lit) > num_vars:
+                raise ValueError(
+                    f"line {line_number}: literal {lit} exceeds declared {num_vars} variable(s)"
+                )
+            else:
+                current.append(lit)
+        if done:
+            break
+    if num_vars is None:
+        raise ValueError("missing 'p cnf' header")
+    if current:
+        raise ValueError("unterminated final clause (missing trailing 0)")
+    if num_clauses is not None and num_clauses != len(clauses):
+        raise ValueError(
+            f"header declares {num_clauses} clause(s), found {len(clauses)}"
+        )
+    return num_vars, clauses
+
+
+__all__ = ["to_dimacs", "from_dimacs"]

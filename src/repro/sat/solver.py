@@ -1,0 +1,519 @@
+"""A CDCL (conflict-driven clause learning) propositional solver.
+
+The solver is a faithful, compact rendition of the modern SAT loop:
+
+* **Two-watched-literal propagation** — every clause with at least two
+  literals watches exactly two of them, kept in positions 0 and 1 of its
+  literal list.  The *watched-literal invariant*: whenever a clause is not
+  satisfied, its two watched literals are non-false, so only clauses
+  watching a literal that just became false need visiting, and backtracking
+  never touches the watch lists.
+* **First-UIP learning** — on conflict, resolution over the implication
+  graph stops at the first unique implication point of the current decision
+  level, yielding an asserting clause; a cheap self-subsumption pass then
+  removes literals whose reasons are subsumed by the clause itself.
+* **VSIDS-style activity** — variables involved in conflicts are bumped and
+  all activities decay geometrically (by bumping with a growing increment);
+  decisions pick the most active unassigned variable via a lazy max-heap.
+  Decision phases are saved across backtracking.
+* **Luby restarts** — the solver restarts after ``RESTART_BASE * luby(i)``
+  conflicts, the universally optimal strategy of Luby, Sinclair and
+  Zuckerman.
+* **Learned-clause reduction** — when the learned-clause database outgrows
+  its budget, the less active half is dropped (binary and reason clauses
+  are kept).
+
+Variables are ``1..n``; literals are signed non-zero integers (DIMACS
+convention).  The solver is deterministic: the same clauses added in the
+same order always produce the same answer, model and statistics.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Iterable, Optional, Sequence
+
+#: Answers returned by :meth:`Solver.solve`.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+#: Conflicts per restart unit; the i-th restart happens after
+#: ``RESTART_BASE * luby(i)`` conflicts.
+RESTART_BASE = 64
+
+_VAR_DECAY = 1.0 / 0.95
+_CLA_DECAY = 1.0 / 0.999
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+_CLA_RESCALE_LIMIT = 1e20
+_CLA_RESCALE_FACTOR = 1e-20
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-indexed) of the Luby sequence
+    ``1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...``."""
+    if i < 1:
+        raise ValueError("luby is 1-indexed")
+    while True:
+        k = i.bit_length()
+        if i + 1 == 1 << k:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+        # i was strictly between 2^(k-1)-1 and 2^k-1: recurse on the tail.
+
+
+class _Clause:
+    """A clause: a mutable literal list whose first two entries are watched."""
+
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: list[int], learned: bool = False) -> None:
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "learnt" if self.learned else "clause"
+        return f"<{kind} {self.lits}>"
+
+
+class Solver:
+    """A CDCL solver over integer literals.
+
+    Typical use::
+
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        assert solver.solve() == SAT
+        assert solver.model[3] is True
+
+    ``add_clause`` must be called at decision level 0 (i.e. before
+    :meth:`solve`, or after it returned — the solver always backtracks to
+    level 0 before returning).  :meth:`solve` may be called repeatedly;
+    learned clauses persist between calls.
+    """
+
+    def __init__(self, num_vars: int = 0) -> None:
+        self._num_vars = 0
+        # Indexed by variable; slot 0 is unused padding.
+        self._values: list[int] = [0]  # 0 unassigned, 1 true, -1 false
+        self._levels: list[int] = [0]
+        self._reasons: list[Optional[_Clause]] = [None]
+        self._activity: list[float] = [0.0]
+        self._phase: list[bool] = [False]
+        self._seen = bytearray(1)
+        # Indexed by encoded literal: 2*v for +v, 2*v+1 for -v.
+        self._watches: list[list[_Clause]] = [[], []]
+        self._clauses: list[_Clause] = []
+        self._learnts: list[_Clause] = []
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._order: list[tuple[float, int]] = []  # lazy max-heap: (-activity, var)
+        self._var_inc = 1.0
+        self._cla_inc = 1.0
+        self._unsat = False
+        self._model: Optional[list[bool]] = None
+        self.stats: dict[str, int] = {
+            "decisions": 0,
+            "conflicts": 0,
+            "propagations": 0,
+            "restarts": 0,
+            "learned": 0,
+            "deleted": 0,
+            "minimized": 0,
+        }
+        if num_vars:
+            self.ensure_vars(num_vars)
+
+    # -- variables ----------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Problem (non-learned) clauses currently attached."""
+        return len(self._clauses)
+
+    def new_var(self) -> int:
+        """Allocate and return the next variable."""
+        self._num_vars += 1
+        var = self._num_vars
+        self._values.append(0)
+        self._levels.append(0)
+        self._reasons.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        self._seen.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        heappush(self._order, (0.0, var))
+        return var
+
+    def ensure_vars(self, count: int) -> None:
+        """Grow the variable pool to at least ``count`` variables."""
+        while self._num_vars < count:
+            self.new_var()
+
+    # -- clause management --------------------------------------------------
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a problem clause (a disjunction of literals).
+
+        Level-0 simplification applies: duplicate literals collapse,
+        tautologies and already-satisfied clauses are dropped, false
+        literals are removed.  Returns ``False`` when the formula became
+        unsatisfiable (empty clause, or a unit clause whose propagation
+        conflicts); the solver is then permanently in the unsat state.
+        """
+        if self._trail_lim:
+            raise ValueError("clauses can only be added at decision level 0")
+        if self._unsat:
+            return False
+        self._model = None
+        lits = list(lits)
+        if lits:
+            self.ensure_vars(max(abs(lit) for lit in lits))
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            if -lit in seen:
+                return True  # tautology: contains both polarities
+            if lit in seen:
+                continue
+            value = self._values[abs(lit)]
+            value = value if lit > 0 else -value
+            if value == 1:
+                return True  # satisfied at level 0
+            if value == -1:
+                continue  # false at level 0: drop the literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._unsat = True
+            return False
+        if len(out) == 1:
+            self._assign(out[0], None)
+            if self._propagate() is not None:
+                self._unsat = True
+                return False
+            return True
+        clause = _Clause(out)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
+        """Add many clauses; returns ``False`` once any addition does."""
+        ok = True
+        for lits in clauses:
+            ok = self.add_clause(lits) and ok
+        return ok
+
+    def _attach(self, clause: _Clause) -> None:
+        lits = clause.lits
+        self._watches[self._windex(lits[0])].append(clause)
+        self._watches[self._windex(lits[1])].append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        lits = clause.lits
+        self._watches[self._windex(lits[0])].remove(clause)
+        self._watches[self._windex(lits[1])].remove(clause)
+
+    @staticmethod
+    def _windex(lit: int) -> int:
+        return 2 * lit if lit > 0 else -2 * lit + 1
+
+    # -- assignment / trail -------------------------------------------------
+
+    @property
+    def model(self) -> Optional[list[bool]]:
+        """After a ``sat`` answer: variable values, indexed ``1..num_vars``
+        (index 0 is padding).  ``None`` otherwise."""
+        return self._model
+
+    def _assign(self, lit: int, reason: Optional[_Clause]) -> None:
+        var = abs(lit)
+        self._values[var] = 1 if lit > 0 else -1
+        self._levels[var] = len(self._trail_lim)
+        self._reasons[var] = reason
+        self._trail.append(lit)
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        values, phase, reasons = self._values, self._phase, self._reasons
+        order, activity = self._order, self._activity
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            lit = self._trail[i]
+            var = lit if lit > 0 else -lit
+            values[var] = 0
+            phase[var] = lit > 0  # phase saving
+            reasons[var] = None
+            heappush(order, (-activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = bound
+
+    # -- propagation --------------------------------------------------------
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation to fixpoint; returns a conflicting clause or
+        ``None``.  Maintains the watched-literal invariant."""
+        values = self._values
+        watches = self._watches
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats["propagations"] += 1
+            false_lit = -lit
+            watchers = watches[self._windex(false_lit)]
+            i = j = 0
+            count = len(watchers)
+            while i < count:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Normalise: the false literal sits at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], false_lit
+                first = lits[0]
+                value = values[first] if first > 0 else -values[-first]
+                if value == 1:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                for k in range(2, len(lits)):
+                    other = lits[k]
+                    other_value = values[other] if other > 0 else -values[-other]
+                    if other_value != -1:
+                        lits[1], lits[k] = other, false_lit
+                        watches[self._windex(other)].append(clause)
+                        break
+                else:
+                    # No replacement watch: the clause is unit or conflicting.
+                    watchers[j] = clause
+                    j += 1
+                    if value == -1:
+                        while i < count:  # keep the remaining watchers
+                            watchers[j] = watchers[i]
+                            j += 1
+                            i += 1
+                        del watchers[j:]
+                        self._qhead = len(self._trail)
+                        return clause
+                    self._assign(first, clause)
+                    continue
+            del watchers[j:]
+        return None
+
+    # -- conflict analysis --------------------------------------------------
+
+    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+        """First-UIP conflict analysis.  Returns the learnt (asserting)
+        clause — asserting literal first, a highest-level literal second —
+        and the backtrack level."""
+        learnt: list[int] = [0]
+        seen = self._seen
+        levels = self._levels
+        trail = self._trail
+        current_level = len(self._trail_lim)
+        counter = 0
+        p = 0
+        reason_lits = conflict.lits
+        index = len(trail)
+        while True:
+            for q in reason_lits:
+                if q == p:
+                    continue
+                var = abs(q)
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if levels[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while True:
+                index -= 1
+                if seen[abs(trail[index])]:
+                    break
+            p = trail[index]
+            var = abs(p)
+            seen[var] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reasons[var]
+            assert reason is not None, "UIP literal must have a reason"
+            if reason.learned:
+                self._bump_clause(reason)
+            reason_lits = reason.lits
+        learnt[0] = -p
+        if conflict.learned:
+            self._bump_clause(conflict)
+
+        # Self-subsumption minimization: drop a literal whose reason's other
+        # literals are all already in the clause (seen) or at level 0.
+        kept = [learnt[0]]
+        for q in learnt[1:]:
+            reason = self._reasons[abs(q)]
+            redundant = reason is not None
+            if reason is not None:
+                for r in reason.lits:
+                    var = abs(r)
+                    if var != abs(q) and not seen[var] and levels[var] > 0:
+                        redundant = False
+                        break
+            if redundant:
+                self.stats["minimized"] += 1
+            else:
+                kept.append(q)
+        for q in learnt[1:]:
+            seen[abs(q)] = 0
+        learnt = kept
+
+        if len(learnt) == 1:
+            return learnt, 0
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if levels[abs(learnt[i])] > levels[abs(learnt[max_i])]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, levels[abs(learnt[1])]
+
+    def _record(self, lits: list[int]) -> None:
+        """Attach a learnt clause and assert its first literal."""
+        self.stats["learned"] += 1
+        if len(lits) == 1:
+            self._assign(lits[0], None)
+            return
+        clause = _Clause(lits, learned=True)
+        clause.activity = self._cla_inc
+        self._learnts.append(clause)
+        self._attach(clause)
+        self._assign(lits[0], clause)
+
+    # -- activity -----------------------------------------------------------
+
+    def _bump_var(self, var: int) -> None:
+        activity = self._activity[var] + self._var_inc
+        self._activity[var] = activity
+        if activity > _RESCALE_LIMIT:
+            scale = _RESCALE_FACTOR
+            for v in range(1, self._num_vars + 1):
+                self._activity[v] *= scale
+            self._var_inc *= scale
+            self._order = [
+                (-self._activity[v], v)
+                for v in range(1, self._num_vars + 1)
+                if self._values[v] == 0
+            ]
+            heapify(self._order)
+        else:
+            heappush(self._order, (-activity, var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        clause.activity += self._cla_inc
+        if clause.activity > _CLA_RESCALE_LIMIT:
+            for learnt in self._learnts:
+                learnt.activity *= _CLA_RESCALE_FACTOR
+            self._cla_inc *= _CLA_RESCALE_FACTOR
+
+    def _decide(self) -> int:
+        """Most active unassigned variable, or 0 when all are assigned."""
+        while self._order:
+            _, var = heappop(self._order)
+            if self._values[var] == 0:
+                return var
+        for var in range(1, self._num_vars + 1):  # heap ran dry: safety scan
+            if self._values[var] == 0:
+                return var
+        return 0
+
+    # -- learned-clause reduction -------------------------------------------
+
+    def _reduce_db(self) -> None:
+        """Drop roughly the less active half of the learnt clauses, keeping
+        binary clauses and clauses that are reasons on the current trail."""
+        self._learnts.sort(key=lambda clause: clause.activity)
+        locked = {id(reason) for reason in self._reasons if reason is not None}
+        limit = len(self._learnts) // 2
+        removed = 0
+        kept: list[_Clause] = []
+        for clause in self._learnts:
+            if removed < limit and len(clause.lits) > 2 and id(clause) not in locked:
+                self._detach(clause)
+                removed += 1
+            else:
+                kept.append(clause)
+        self._learnts = kept
+        self.stats["deleted"] += removed
+
+    # -- the main loop ------------------------------------------------------
+
+    def solve(self, conflict_limit: Optional[int] = None) -> str:
+        """Decide the conjunction of all added clauses.
+
+        Returns :data:`SAT` (a model is available via :attr:`model`),
+        :data:`UNSAT`, or :data:`UNKNOWN` when ``conflict_limit`` conflicts
+        were exhausted first.  Always returns at decision level 0.
+        """
+        if self._unsat:
+            return UNSAT
+        if self._propagate() is not None:
+            self._unsat = True
+            return UNSAT
+        conflicts = 0
+        restarts = 0
+        restart_limit = RESTART_BASE * luby(1)
+        conflicts_since_restart = 0
+        max_learnts = max(len(self._clauses) // 3, 100)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                conflicts_since_restart += 1
+                self.stats["conflicts"] += 1
+                if not self._trail_lim:
+                    self._unsat = True
+                    return UNSAT
+                learnt, backtrack_level = self._analyze(conflict)
+                self._cancel_until(backtrack_level)
+                self._record(learnt)
+                self._var_inc *= _VAR_DECAY
+                self._cla_inc *= _CLA_DECAY
+                if conflict_limit is not None and conflicts >= conflict_limit:
+                    self._cancel_until(0)
+                    return UNKNOWN
+                continue
+            if conflicts_since_restart >= restart_limit:
+                restarts += 1
+                conflicts_since_restart = 0
+                restart_limit = RESTART_BASE * luby(restarts + 1)
+                self.stats["restarts"] += 1
+                self._cancel_until(0)
+                continue
+            if len(self._learnts) - len(self._trail) >= max_learnts:
+                self._reduce_db()
+            var = self._decide()
+            if var == 0:
+                self._model = [False] + [
+                    self._values[v] == 1 for v in range(1, self._num_vars + 1)
+                ]
+                self._cancel_until(0)
+                return SAT
+            self.stats["decisions"] += 1
+            self._trail_lim.append(len(self._trail))
+            self._assign(var if self._phase[var] else -var, None)
+
+
+__all__ = ["Solver", "SAT", "UNSAT", "UNKNOWN", "RESTART_BASE", "luby"]

@@ -16,10 +16,11 @@ This module re-exports the surface the downstream subsystems (generator,
 skeletonizer, reducer, oracle) program against.
 """
 
+from .cnf import CnfFormula, TseitinEncoder, is_connective, skeleton_atoms, tseitin
 from .evaluate import evaluate, evaluate_value, fold_apply
 from .lexer import RESERVED_WORDS, Token, TokenKind, is_simple_symbol, iter_tokens, tokenize
 from .parser import parse_command, parse_script, parse_sort, parse_term
-from .simplify import simplify, simplify_script
+from .simplify import simplify, simplify_script, to_nnf
 from .printer import (
     command_to_smtlib,
     constant_to_smtlib,
@@ -40,6 +41,7 @@ from .script import (
     Exit,
     FunSignature,
     GetModel,
+    GetValue,
     Pop,
     Push,
     Script,
@@ -81,6 +83,7 @@ from .terms import (
     ff_const,
     int_const,
     intern_stats,
+    negate,
     qualified_constant,
     real_const,
     replace_subterm,
@@ -138,6 +141,7 @@ __all__ = [
     "ff_const",
     "qualified_constant",
     "substitute",
+    "negate",
     "replace_subterm",
     "intern_stats",
     "reset_intern_stats",
@@ -156,6 +160,7 @@ __all__ = [
     "Assert",
     "CheckSat",
     "GetModel",
+    "GetValue",
     "Push",
     "Pop",
     "Exit",
@@ -174,6 +179,13 @@ __all__ = [
     # simplify
     "simplify",
     "simplify_script",
+    "to_nnf",
+    # cnf
+    "CnfFormula",
+    "TseitinEncoder",
+    "tseitin",
+    "is_connective",
+    "skeleton_atoms",
     # evaluate
     "evaluate",
     "evaluate_value",

@@ -27,7 +27,7 @@ from fractions import Fraction
 from typing import Callable, Mapping, Optional
 
 from ..errors import EvaluationError
-from .sorts import BOOL, INT, REAL, STRING, Sort, bitvec_sort, is_bitvec, is_finite_field
+from .sorts import INT, REAL, STRING, Sort, bitvec_sort, is_bitvec, is_finite_field
 from .terms import (
     FALSE,
     TRUE,

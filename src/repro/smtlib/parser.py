@@ -33,6 +33,7 @@ from .script import (
     DefineFun,
     Exit,
     GetModel,
+    GetValue,
     Pop,
     Push,
     Script,
@@ -44,9 +45,7 @@ from .script import (
 from .sexpr import Atom, SExpr, parse_sexprs, sexpr_to_string
 from .sorts import (
     BOOL,
-    INT,
     REAL,
-    STRING,
     Sort,
     bitvec_sort,
     is_finite_field,
@@ -225,7 +224,13 @@ def _term(expr: SExpr, context: DeclarationContext, bound: dict[str, Sort]) -> T
             raise TypeCheckError(f"bound variable {keyword!r} cannot be applied")
         sort = apply_sort(keyword, (), tuple(a.sort for a in args), context)
         return Apply(keyword, args, sort)
-    if isinstance(head, list) and head and isinstance(head[0], Atom) and head[0].is_plain_symbol and head[0].text == "_":
+    if (
+        isinstance(head, list)
+        and head
+        and isinstance(head[0], Atom)
+        and head[0].is_plain_symbol
+        and head[0].text == "_"
+    ):
         if len(head) < 3 or not isinstance(head[1], Atom):
             raise ParseError(f"malformed indexed operator: {sexpr_to_string(head)}")
         op = head[1].text
@@ -435,6 +440,11 @@ def parse_command(expr: SExpr, context: DeclarationContext) -> Command:
     if name in ("check-sat", "get-model", "exit"):
         _expect_operands(name, rest, 0)
         return {"check-sat": CheckSat, "get-model": GetModel, "exit": Exit}[name]()
+    if name == "get-value":
+        _expect_operands(name, rest, 1)
+        if not isinstance(rest[0], list) or not rest[0]:
+            raise ParseError("get-value expects a non-empty term list")
+        return GetValue(tuple(_term(item, context, {}) for item in rest[0]))
     if name in ("push", "pop"):
         if len(rest) not in (0, 1):
             raise ParseError(f"{name} takes at most one operand")

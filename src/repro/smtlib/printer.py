@@ -158,6 +158,7 @@ def command_to_smtlib(command) -> str:
         DefineFun,
         Exit,
         GetModel,
+        GetValue,
         Pop,
         Push,
         SetInfo,
@@ -196,6 +197,9 @@ def command_to_smtlib(command) -> str:
         return "(check-sat)"
     if isinstance(command, GetModel):
         return "(get-model)"
+    if isinstance(command, GetValue):
+        terms = " ".join(term_to_smtlib(term) for term in command.terms)
+        return f"(get-value ({terms}))"
     if isinstance(command, Push):
         return f"(push {command.levels})"
     if isinstance(command, Pop):

@@ -231,6 +231,16 @@ class GetModel(Command):
 
 
 @dataclass(frozen=True)
+class GetValue(Command):
+    """``(get-value (t1 t2 ...))``"""
+
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+
+@dataclass(frozen=True)
 class Push(Command):
     """``(push n)``"""
 
@@ -354,6 +364,7 @@ __all__ = [
     "Assert",
     "CheckSat",
     "GetModel",
+    "GetValue",
     "Push",
     "Pop",
     "Exit",

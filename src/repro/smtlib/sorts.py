@@ -13,7 +13,7 @@ finite fields in cvc5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from .lexer import quote_identifier

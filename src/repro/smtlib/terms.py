@@ -80,6 +80,9 @@ class Term:
 
     __slots__ = ("_sort", "_hash", "__weakref__")
 
+    _sort: Sort
+    _hash: int
+
     @classmethod
     def _intern(cls, key: tuple, sort: Sort, attrs: tuple) -> "Term":
         """Return the canonical node for ``key``, allocating on first use.
@@ -208,11 +211,15 @@ class Constant(Term):
 
     __slots__ = ("_value", "_qualifier")
 
+    _value: ConstantValue
+    _qualifier: str
+
     def __new__(cls, value: ConstantValue, sort: Sort, qualifier: str = "") -> "Constant":
         if sort == REAL and isinstance(value, int):
             value = Fraction(value)
         key = ("Constant", type(value).__name__, value, sort, qualifier)
-        return cls._intern(key, sort, (("_value", value), ("_qualifier", qualifier)))  # type: ignore[return-value]
+        attrs = (("_value", value), ("_qualifier", qualifier))
+        return cls._intern(key, sort, attrs)  # type: ignore[return-value]
 
     @property
     def value(self) -> ConstantValue:
@@ -234,6 +241,8 @@ class Symbol(Term):
 
     __slots__ = ("_name",)
 
+    _name: str
+
     def __new__(cls, name: str, sort: Sort) -> "Symbol":
         key = ("Symbol", name, sort)
         return cls._intern(key, sort, (("_name", name),))  # type: ignore[return-value]
@@ -253,6 +262,10 @@ class Apply(Term):
     """Application ``(op arg1 ... argn)``; ``indices`` for ``(_ op i ...)``."""
 
     __slots__ = ("_op", "_args", "_indices")
+
+    _op: str
+    _args: tuple["Term", ...]
+    _indices: tuple[int, ...]
 
     def __new__(
         cls,
@@ -301,6 +314,10 @@ class Quantifier(Term):
 
     __slots__ = ("_kind", "_bindings", "_body")
 
+    _kind: str
+    _bindings: tuple[tuple[str, Sort], ...]
+    _body: "Term"
+
     def __new__(
         cls,
         kind: str,
@@ -344,6 +361,9 @@ class Let(Term):
     """
 
     __slots__ = ("_bindings", "_body")
+
+    _bindings: tuple[tuple[str, "Term"], ...]
+    _body: "Term"
 
     def __new__(cls, bindings: Sequence[tuple[str, Term]], body: Term) -> "Let":
         bindings = tuple((n, t) for n, t in bindings)
@@ -469,6 +489,22 @@ def _substitute(term: Term, mapping: dict[str, Term]) -> Term:
     raise TypeError(f"unknown term node: {term!r}")
 
 
+def negate(term: Term) -> Term:
+    """Logical negation of a ``Bool`` term, without stacking ``not`` nodes.
+
+    ``true``/``false`` flip, ``(not t)`` unwraps to ``t``, and anything else
+    gains a single ``not``.  The NNF and CNF layers use this so negative
+    polarity never produces double negation.
+    """
+    if term is TRUE:
+        return FALSE
+    if term is FALSE:
+        return TRUE
+    if isinstance(term, Apply) and term.op == "not":
+        return term.args[0]
+    return Apply("not", (term,), BOOL)
+
+
 def replace_subterm(term: Term, target: Term, replacement: Term) -> Term:
     """Return ``term`` with the first occurrence of ``target`` (by identity —
     which, with interning, *is* structural equality) replaced by
@@ -568,6 +604,7 @@ __all__ = [
     "Quantifier",
     "Let",
     "substitute",
+    "negate",
     "replace_subterm",
     "intern_stats",
     "reset_intern_stats",

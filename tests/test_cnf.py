@@ -1,0 +1,203 @@
+"""Tests for the Tseitin encoder and DIMACS I/O."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import SAT, Solver, UNSAT, from_dimacs, to_dimacs
+from repro.smtlib import (
+    BOOL,
+    INT,
+    Apply,
+    FALSE,
+    Symbol,
+    TRUE,
+    TseitinEncoder,
+    bool_const,
+    evaluate,
+    int_const,
+    is_connective,
+    skeleton_atoms,
+    to_nnf,
+    tseitin,
+)
+from test_nnf import random_bool_term
+
+A, B, C, D = (Symbol(name, BOOL) for name in "abcd")
+X = Symbol("x", INT)
+
+
+def brute_force_satisfiable(term, atoms):
+    for values in itertools.product([False, True], repeat=len(atoms)):
+        env = {s.name: bool_const(v) for s, v in zip(atoms, values)}
+        if evaluate(term, env) is TRUE:
+            return True
+    return False
+
+
+def solve_formula(formula):
+    solver = Solver(formula.num_vars)
+    for clause in formula.clauses:
+        solver.add_clause(clause)
+    return solver, solver.solve()
+
+
+class TestConnectiveClassification:
+    def test_boolean_connectives(self):
+        assert is_connective(Apply("and", (A, B), BOOL))
+        assert is_connective(Apply("not", (A,), BOOL))
+        assert is_connective(Apply("=", (A, B), BOOL))
+        assert is_connective(Apply("ite", (A, B, C), BOOL))
+
+    def test_theory_equality_is_an_atom(self):
+        assert not is_connective(Apply("=", (X, int_const(0)), BOOL))
+        assert not is_connective(Apply("<", (X, int_const(0)), BOOL))
+
+    def test_non_boolean_ite_is_not_a_connective(self):
+        assert not is_connective(Apply("ite", (A, X, int_const(0)), INT))
+
+    def test_symbols_and_constants_are_atoms(self):
+        assert not is_connective(A)
+        assert not is_connective(TRUE)
+
+
+class TestSkeletonAtoms:
+    def test_collects_distinct_atoms_in_order(self):
+        lt = Apply("<", (X, int_const(0)), BOOL)
+        term = Apply("and", (A, Apply("or", (lt, A, B), BOOL), lt), BOOL)
+        assert skeleton_atoms(term) == [A, lt, B]
+
+    def test_does_not_descend_into_atoms(self):
+        eq = Apply("=", (X, X), BOOL)
+        assert skeleton_atoms(Apply("not", (eq,), BOOL)) == [eq]
+
+    def test_boolean_constants_are_not_atoms(self):
+        # Mirrors TseitinEncoder.atom_vars, which never assigns them a var.
+        term = Apply("and", (A, TRUE, Apply("or", (FALSE, B), BOOL)), BOOL)
+        assert skeleton_atoms(term) == [A, B]
+        assert set(tseitin(term).atom_vars) == {A, B}
+
+
+class TestEquisatisfiability:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_random_skeletons_agree_with_brute_force(self, seed):
+        rng = random.Random(seed)
+        atoms = [A, B, C, D]
+        term = random_bool_term(rng, 4, atoms)
+        formula = tseitin(to_nnf(term))
+        solver, answer = solve_formula(formula)
+        expected = brute_force_satisfiable(term, atoms)
+        assert answer == (SAT if expected else UNSAT), term
+        if answer == SAT:
+            # The CNF model, restricted to the atoms, satisfies the term.
+            env = {}
+            for atom, var in formula.atom_vars.items():
+                env[atom.name] = bool_const(solver.model[var])
+            for atom in atoms:
+                env.setdefault(atom.name, bool_const(False))
+            assert evaluate(term, env) is TRUE
+
+    def test_true_is_satisfiable(self):
+        _, answer = solve_formula(tseitin(TRUE))
+        assert answer == SAT
+
+    def test_false_is_unsatisfiable(self):
+        _, answer = solve_formula(tseitin(FALSE))
+        assert answer == UNSAT
+
+    def test_conjoined_assertions(self):
+        encoder = TseitinEncoder()
+        encoder.assert_term(Apply("or", (A, B), BOOL))
+        encoder.assert_term(Apply("not", (A,), BOOL))
+        encoder.assert_term(Apply("not", (B,), BOOL))
+        _, answer = solve_formula(encoder.formula)
+        assert answer == UNSAT
+
+
+class TestSharing:
+    def test_shared_subterm_gets_one_aux_variable(self):
+        shared = Apply("and", (A, B), BOOL)
+        term = Apply("or", (shared, Apply("not", (shared,), BOOL)), BOOL)
+        formula = tseitin(term)
+        # Atoms a, b plus exactly two gates: the shared `and`, the `or`.
+        assert formula.num_atoms == 2
+        assert formula.num_aux == 2
+
+    def test_not_introduces_no_variable(self):
+        formula = tseitin(Apply("not", (A,), BOOL))
+        assert formula.num_vars == 1
+        assert formula.clauses == [(-1,)]
+
+    def test_deep_shared_dag_encodes_linearly(self):
+        term = Apply("and", (A, B), BOOL)
+        for _ in range(100):
+            term = Apply("and", (term, term), BOOL)
+        formula = tseitin(term)
+        assert formula.num_vars <= 2 + 101  # atoms + one aux per level
+
+    def test_encoding_is_linear_in_connectives(self):
+        wide = Apply("or", tuple(Symbol(f"v{i}", BOOL) for i in range(50)), BOOL)
+        formula = tseitin(wide)
+        assert formula.num_vars == 51
+        assert len(formula.clauses) == 50 + 1 + 1  # gate + long clause + root unit
+
+
+class TestEncoderErrors:
+    def test_rejects_non_boolean_terms(self):
+        with pytest.raises(ValueError):
+            TseitinEncoder().encode(X)
+
+
+class TestDimacs:
+    def test_round_trip(self):
+        clauses = [(1, -2, 3), (-1,), (2, 3)]
+        text = to_dimacs(3, clauses, comments=("a comment",))
+        assert text.startswith("c a comment\np cnf 3 3\n")
+        assert from_dimacs(text) == (3, clauses)
+
+    def test_round_trip_of_encoded_formula(self):
+        formula = tseitin(to_nnf(Apply("=>", (A, Apply("xor", (B, C), BOOL)), BOOL)))
+        text = to_dimacs(formula.num_vars, formula.clauses)
+        num_vars, clauses = from_dimacs(text)
+        assert num_vars == formula.num_vars
+        assert clauses == [tuple(c) for c in formula.clauses]
+        # And the round-tripped formula still solves identically.
+        solver = Solver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() == SAT
+
+    def test_accepts_multiline_clauses_and_comments(self):
+        text = "c hi\np cnf 3 2\n1 2\n3 0 -1\n-2 0\n"
+        assert from_dimacs(text) == (3, [(1, 2, 3), (-1, -2)])
+
+    def test_accepts_satlib_percent_terminator(self):
+        text = "p cnf 2 1\n1 -2 0\n%\n0\n"
+        assert from_dimacs(text) == (2, [(1, -2)])
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            from_dimacs("1 2 0\n")
+
+    def test_rejects_duplicate_header(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            from_dimacs("p cnf 1 0\np cnf 1 0\n")
+
+    def test_rejects_unterminated_clause(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            from_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_rejects_out_of_range_literal(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            from_dimacs("p cnf 2 1\n1 3 0\n")
+
+    def test_rejects_clause_count_mismatch(self):
+        with pytest.raises(ValueError, match="declares"):
+            from_dimacs("p cnf 2 2\n1 0\n")
+
+    def test_export_rejects_bad_literals(self):
+        with pytest.raises(ValueError):
+            to_dimacs(2, [(0,)])
+        with pytest.raises(ValueError):
+            to_dimacs(2, [(3,)])

@@ -16,7 +16,7 @@ from repro.smtlib import (
     symbol_to_smtlib,
     term_to_smtlib,
 )
-from repro.smtlib.sorts import INT, REAL
+from repro.smtlib.sorts import REAL
 from repro.smtlib.terms import Constant, int_const, real_const, string_const
 
 CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.smt2"))

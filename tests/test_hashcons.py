@@ -12,7 +12,7 @@ from pathlib import Path
 import pytest
 
 from repro.smtlib import parse_script
-from repro.smtlib.sorts import BOOL, INT, REAL, STRING, bitvec_sort, seq_sort
+from repro.smtlib.sorts import BOOL, INT, REAL, seq_sort
 from repro.smtlib.terms import (
     FALSE,
     TRUE,

@@ -1,0 +1,204 @@
+"""Tests for the polarity-tracking NNF pass (`to_nnf`)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smtlib import (
+    BOOL,
+    INT,
+    Apply,
+    FALSE,
+    Let,
+    Quantifier,
+    Symbol,
+    TRUE,
+    bool_const,
+    evaluate,
+    int_const,
+    is_connective,
+    negate,
+    to_nnf,
+)
+
+A, B, C, D = (Symbol(name, BOOL) for name in "abcd")
+X = Symbol("x", INT)
+
+
+def _not(t):
+    return Apply("not", (t,), BOOL)
+
+
+def _and(*ts):
+    return Apply("and", ts, BOOL)
+
+
+def _or(*ts):
+    return Apply("or", ts, BOOL)
+
+
+def _xor(*ts):
+    return Apply("xor", ts, BOOL)
+
+
+def _implies(*ts):
+    return Apply("=>", ts, BOOL)
+
+
+def _iff(*ts):
+    return Apply("=", ts, BOOL)
+
+
+def _ite(c, t, e):
+    return Apply("ite", (c, t, e), BOOL)
+
+
+def assert_nnf_shape(term):
+    """Every ``not`` in an NNF term sits directly above an atom."""
+    for node in term.walk():
+        if isinstance(node, Apply) and node.op == "not":
+            assert not is_connective(node.args[0]), f"not above connective: {node}"
+        if isinstance(node, Apply) and node.op == "=>":
+            assert not is_connective(node) or False, f"=> survived NNF: {node}"
+
+
+def random_bool_term(rng, depth, atoms):
+    if depth == 0 or rng.random() < 0.2:
+        choice = rng.random()
+        if choice < 0.1:
+            return bool_const(rng.random() < 0.5)
+        return rng.choice(atoms)
+    op = rng.choice(["not", "and", "or", "xor", "=>", "=", "distinct", "ite"])
+    sub = lambda: random_bool_term(rng, depth - 1, atoms)
+    if op == "not":
+        return _not(sub())
+    if op == "ite":
+        return _ite(sub(), sub(), sub())
+    if op in ("=", "distinct"):
+        return Apply(op, (sub(), sub()), BOOL)
+    width = rng.randint(2, 3)
+    return Apply(op, tuple(sub() for _ in range(width)), BOOL)
+
+
+class TestShape:
+    def test_pushes_not_through_and(self):
+        result = to_nnf(_not(_and(A, B)))
+        assert result == _or(_not(A), _not(B))
+
+    def test_pushes_not_through_or(self):
+        result = to_nnf(_not(_or(A, B, C)))
+        assert result == _and(_not(A), _not(B), _not(C))
+
+    def test_double_negation_cancels(self):
+        assert to_nnf(_not(_not(A))) is A
+
+    def test_implies_expands_to_or(self):
+        assert to_nnf(_implies(A, B)) == _or(_not(A), B)
+
+    def test_negated_implies_is_conjunction(self):
+        assert to_nnf(_not(_implies(A, B, C))) == _and(A, B, _not(C))
+
+    def test_negated_xor_flips_last_argument(self):
+        assert to_nnf(_not(_xor(A, B))) == _xor(A, _not(B))
+
+    def test_negated_iff_is_xor(self):
+        assert to_nnf(_not(_iff(A, B))) == _xor(A, B)
+
+    def test_chained_iff_expands(self):
+        result = to_nnf(_iff(A, B, C))
+        assert result == _and(_iff(A, B), _iff(B, C))
+
+    def test_negated_chained_iff(self):
+        result = to_nnf(_not(_iff(A, B, C)))
+        assert result == _or(_xor(A, B), _xor(B, C))
+
+    def test_bool_distinct_is_xor(self):
+        assert to_nnf(Apply("distinct", (A, B), BOOL)) == _xor(A, B)
+
+    def test_wide_bool_distinct_is_false(self):
+        assert to_nnf(Apply("distinct", (A, B, C), BOOL)) is FALSE
+        assert to_nnf(_not(Apply("distinct", (A, B, C), BOOL))) is TRUE
+
+    def test_negated_ite_negates_branches(self):
+        assert to_nnf(_not(_ite(A, B, C))) == _ite(A, _not(B), _not(C))
+
+    def test_constants_flip(self):
+        assert to_nnf(_not(TRUE)) is FALSE
+        assert to_nnf(_not(FALSE)) is TRUE
+
+    def test_quantifiers_dualise(self):
+        body = _and(A, B)
+        term = _not(Quantifier("forall", (("a", BOOL),), body))
+        result = to_nnf(term)
+        assert isinstance(result, Quantifier)
+        assert result.kind == "exists"
+        assert result.body == _or(_not(A), _not(B))
+
+    def test_let_pushes_into_body_only(self):
+        value = _and(A, B)
+        term = _not(Let((("s", value),), Symbol("s", BOOL)))
+        result = to_nnf(term)
+        assert isinstance(result, Let)
+        assert result.bindings[0][1] is value  # binding value untouched
+        assert result.body == _not(Symbol("s", BOOL))
+
+    def test_theory_atoms_are_opaque(self):
+        atom = Apply("<", (X, int_const(0)), BOOL)
+        assert to_nnf(atom) is atom
+        assert to_nnf(_not(atom)) == _not(atom)
+        # The negation is not pushed inside the atom's arguments.
+        assert to_nnf(_not(_and(atom, A))) == _or(_not(atom), _not(A))
+
+    def test_rejects_non_boolean_terms(self):
+        with pytest.raises(ValueError):
+            to_nnf(X)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_terms_preserve_truth_tables(self, seed):
+        rng = random.Random(seed)
+        atoms = [A, B, C, D]
+        term = random_bool_term(rng, 4, atoms)
+        converted = to_nnf(term)
+        assert converted.sort == BOOL
+        assert_nnf_shape(converted)
+        for values in itertools.product([False, True], repeat=4):
+            env = {s.name: bool_const(v) for s, v in zip(atoms, values)}
+            assert evaluate(term, env) is evaluate(converted, env), (term, converted)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_idempotent(self, seed):
+        rng = random.Random(1000 + seed)
+        term = random_bool_term(rng, 4, [A, B, C])
+        converted = to_nnf(term)
+        assert to_nnf(converted) is converted
+
+
+class TestSharing:
+    def test_shared_doubling_dag_stays_linear(self):
+        # Without (node, polarity) memoization this is exponential.
+        term = _and(A, B)
+        for _ in range(200):
+            term = _and(term, term)
+        result = to_nnf(_not(term))
+        assert result.dag_size() <= term.dag_size() + 3
+
+    def test_shared_node_converted_once_per_polarity(self):
+        shared = _and(A, B)
+        term = _or(_not(shared), _and(shared, C))
+        result = to_nnf(term)
+        # The negative-polarity copy is the De Morgan dual, the positive
+        # copy is untouched; both stay shared DAG nodes.
+        assert result == _or(_or(_not(A), _not(B)), _and(shared, C))
+
+
+class TestNegateHelper:
+    def test_negate_flips_constants(self):
+        assert negate(TRUE) is FALSE
+        assert negate(FALSE) is TRUE
+
+    def test_negate_unwraps_not(self):
+        assert negate(_not(A)) is A
+        assert negate(A) == _not(A)

@@ -14,9 +14,8 @@ from repro.smtlib import (
     simplify,
     simplify_script,
 )
-from repro.smtlib.script import Assert
-from repro.smtlib.sorts import BOOL, INT, STRING, bitvec_sort, seq_sort
-from repro.smtlib.terms import Apply, Constant, Symbol, int_const
+from repro.smtlib.sorts import BOOL, INT, STRING, bitvec_sort
+from repro.smtlib.terms import Apply, Symbol, int_const
 
 CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.smt2"))
 

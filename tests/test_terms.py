@@ -8,7 +8,6 @@ from repro.smtlib.terms import (
     FALSE,
     TRUE,
     Apply,
-    Constant,
     Let,
     Quantifier,
     Symbol,
