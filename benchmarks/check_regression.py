@@ -3,7 +3,14 @@
 
 For every fresh result file given on the command line, the matching
 baseline (same file name) is loaded from ``--baseline-dir`` and each
-workload's total wall-clock is compared.  The gate fails (exit 1) when any
+workload's total wall-clock is compared.  With **no** positional
+arguments the gate auto-discovers every ``--baseline-dir``/``*.json``
+and expects the matching fresh file in the current directory — so a new
+benchmark suite is gated the moment its baseline is committed, with no
+CI or script changes (a discovered baseline whose fresh file is missing
+fails the gate: the suite was supposed to run).
+
+The gate fails (exit 1) when any
 workload regressed by more than ``--threshold``× (default 2.5×, generous
 enough to absorb CI-runner noise).  Sub-floor timings (default 50 ms) are
 clamped before comparing, so micro-workloads cannot trip the gate on
@@ -15,13 +22,14 @@ baseline update.
 
 Usage::
 
-    python benchmarks/check_regression.py BENCH_simplify.json BENCH_sat.json \
+    python benchmarks/check_regression.py [BENCH_simplify.json ...] \
         [--baseline-dir benchmarks/baselines] [--threshold 2.5] [--floor 0.02]
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import os
 
@@ -53,7 +61,12 @@ def compare(fresh_path: str, baseline_path: str, threshold: float, floor: float)
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("fresh", nargs="+", help="freshly generated BENCH_*.json files")
+    parser.add_argument(
+        "fresh",
+        nargs="*",
+        help="freshly generated BENCH_*.json files (default: auto-discover "
+        "one per committed baseline, expected in the current directory)",
+    )
     parser.add_argument(
         "--baseline-dir",
         default=os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines"),
@@ -74,8 +87,25 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     failures: list[str] = []
+    fresh_files = list(args.fresh)
+    if not fresh_files:
+        baselines = sorted(glob.glob(os.path.join(args.baseline_dir, "*.json")))
+        if not baselines:
+            print(f"no baselines in {args.baseline_dir}; nothing to gate")
+            return 0
+        fresh_files = [os.path.basename(path) for path in baselines]
+        print(
+            "auto-discovered {} baseline suite(s): {}".format(
+                len(fresh_files), ", ".join(fresh_files)
+            )
+        )
+        for fresh_path in list(fresh_files):
+            if not os.path.exists(fresh_path):
+                failures.append(f"{fresh_path} (fresh result missing — suite not run?)")
+                fresh_files.remove(fresh_path)
+
     header = f"{'workload':<20} {'baseline_s':>11} {'fresh_s':>9} {'ratio':>7}  status"
-    for fresh_path in args.fresh:
+    for fresh_path in fresh_files:
         baseline_path = os.path.join(args.baseline_dir, os.path.basename(fresh_path))
         print(f"== {fresh_path} vs {baseline_path}")
         if not os.path.exists(baseline_path):

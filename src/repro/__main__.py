@@ -1,14 +1,26 @@
 """``python -m repro`` — decide SMT-LIB scripts from the command line.
 
-Reads each ``.smt2`` script, executes it with :class:`repro.engine.Engine`
-and prints the solver output: one ``sat``/``unsat``/``unknown`` line per
-``(check-sat)``, a ``(model ...)`` block per ``(get-model)`` and a value
-list per ``(get-value ...)``.  Exit status is 0 when every file was
-processed, 1 when any file failed to read, parse or type-check.
+Reads each ``.smt2`` script, executes it with the incremental
+:class:`repro.engine.Engine` and prints the solver output: one
+``sat``/``unsat``/``unknown`` line per ``(check-sat)``, a ``(model ...)``
+block per ``(get-model)`` and a value list per ``(get-value ...)``.
+
+When a script carries a ``(set-info :status sat|unsat)`` annotation, every
+computed answer is compared against it; a contradiction prints a warning
+to stderr, and with ``--strict-status`` also fails the run.  ``--stats``
+prints the per-``check-sat`` solver counters (conflicts, propagations,
+restarts, theory lemmas, Tseitin reuse ...) as comment lines, and
+``--dimacs PATH`` dumps the final solver CNF — gates, frame-selector
+guards, level-0 facts and theory lemmas — in DIMACS format (with several
+inputs, ``PATH.<index>`` per file).
+
+Exit status: 0 on success, 1 when any file failed to read, parse or
+type-check, 2 when ``--strict-status`` found a contradicted annotation.
 
 Usage::
 
     python -m repro file.smt2 [more.smt2 ...] [--stats] [--conflict-limit N]
+                    [--dimacs PATH] [--strict-status]
 """
 
 from __future__ import annotations
@@ -41,13 +53,26 @@ def main(argv: Optional[list[str]] = None) -> int:
         action="store_true",
         help="print per-check-sat solver statistics as comment lines",
     )
+    parser.add_argument(
+        "--dimacs",
+        metavar="PATH",
+        default=None,
+        help="dump the final CNF in DIMACS format (PATH.<i> per file when "
+        "several scripts are given)",
+    )
+    parser.add_argument(
+        "--strict-status",
+        action="store_true",
+        help="exit non-zero when an answer contradicts (set-info :status ...)",
+    )
     args = parser.parse_args(argv)
 
     # Every pass is recursive over term depth; generated scripts nest deeply.
     sys.setrecursionlimit(1_000_000)
 
     status = 0
-    for path in args.paths:
+    contradicted = False
+    for index, path in enumerate(args.paths):
         if len(args.paths) > 1:
             print(f"; {path}")
         try:
@@ -56,15 +81,32 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f'(error "{path}: {exc}")', file=sys.stderr)
             status = 1
             continue
-        result = Engine(conflict_limit=args.conflict_limit).run(script)
+        engine = Engine(conflict_limit=args.conflict_limit)
+        result = engine.run(script)
         for line in result.output:
             print(line)
+        for check_index in result.status_mismatches:
+            check = result.check_results[check_index]
+            contradicted = True
+            print(
+                f"; warning: {path}: check-sat #{check_index} answered "
+                f"{check.answer} but :status is {check.expected}",
+                file=sys.stderr,
+            )
         if args.stats:
-            for index, check in enumerate(result.check_results):
+            for check_index, check in enumerate(result.check_results):
                 stats = check.stats
                 detail = ", ".join(f"{key}={stats[key]}" for key in sorted(stats))
                 reason = f" reason={check.reason}" if check.reason else ""
-                print(f"; check-sat #{index}: {check.answer}{reason} ({detail})")
+                print(f"; check-sat #{check_index}: {check.answer}{reason} ({detail})")
+        if args.dimacs is not None:
+            out_path = (
+                args.dimacs if len(args.paths) == 1 else f"{args.dimacs}.{index}"
+            )
+            text = engine.dimacs(comments=[f"final CNF of {path}"])
+            Path(out_path).write_text(text, encoding="utf-8")
+    if status == 0 and contradicted and args.strict_status:
+        return 2
     return status
 
 

@@ -1,0 +1,29 @@
+"""Script execution: the DPLL(T) engine.
+
+The engine layer is split by responsibility:
+
+* :mod:`repro.engine.context` — assertion-stack :class:`Frame` bookkeeping
+  and term preparation (``define-fun`` inlining, ``let`` expansion,
+  n-ary equality expansion).
+* :mod:`repro.engine.atoms` — the persistent atom ↔ SAT-variable
+  registry wrapping one long-lived Tseitin encoder, so unchanged
+  assertions are never re-encoded across ``check-sat`` calls.
+* :mod:`repro.engine.solve` — :class:`Engine` itself: the incremental
+  CDCL(T) loop with selector-literal ``push``/``pop``, the theory-hook
+  adapter, model assembly and validation.
+* :mod:`repro.engine.result` — :class:`CheckSatResult` /
+  :class:`ScriptResult`.
+
+``python -m repro`` is the CLI front end.
+"""
+
+from .result import CheckSatResult, ScriptResult
+from .solve import Engine, run_script, solve_script
+
+__all__ = [
+    "CheckSatResult",
+    "ScriptResult",
+    "Engine",
+    "run_script",
+    "solve_script",
+]

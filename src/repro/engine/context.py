@@ -1,0 +1,238 @@
+"""Assertion-stack frames and term preparation.
+
+One :class:`Frame` per assertion-stack level holds the raw asserted
+terms, their *prepared* and *simplified* forms (computed once, cached for
+every later ``check-sat``), the declarations scoped to the level, and the
+frame's SAT *selector* variable — the assumption literal that activates
+the frame's clauses in the shared incremental solver.
+
+Preparation is the term-level pipeline that runs **before** encoding:
+
+1. :func:`inline_definitions` — beta-reduce ``define-fun`` applications.
+2. :func:`expand_lets` — substitute ``let`` binders away (parallel
+   semantics).
+3. :func:`expand_equalities` — rewrite n-ary ``=`` / ``distinct`` over
+   non-boolean terms into conjunctions of *binary* equalities (negated
+   for ``distinct``), so the theory layer only ever sees binary equality
+   atoms.  Boolean ``=``/``distinct`` are CNF connectives and stay as-is.
+
+``define-fun`` expansion substitutes by name and is not capture-avoiding
+against quantifiers inside definition bodies; the engine targets
+quantifier-free skeletons, where no capture can occur.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..smtlib.script import DefineFun, FunSignature
+from ..smtlib.sorts import BOOL, Sort
+from ..smtlib.terms import (
+    Apply,
+    Constant,
+    Let,
+    Quantifier,
+    Symbol,
+    Term,
+    negate,
+    substitute,
+)
+
+
+class Frame:
+    """One assertion-stack level: assertions, their cached prepared forms,
+    scoped declarations and the frame's selector variable."""
+
+    __slots__ = (
+        "assertions",
+        "prepared",
+        "simplified",
+        "atom_lists",
+        "encoded",
+        "definitions",
+        "consts",
+        "funs",
+        "selector",
+    )
+
+    def __init__(self) -> None:
+        self.assertions: list[Term] = []
+        self.prepared: list[Term] = []
+        self.simplified: list[Term] = []
+        self.atom_lists: list[tuple[Term, ...]] = []
+        self.encoded = 0
+        self.definitions: dict[str, DefineFun] = {}
+        self.consts: dict[str, Sort] = {}
+        self.funs: dict[str, FunSignature] = {}
+        self.selector: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# Definition inlining and let expansion.
+# ---------------------------------------------------------------------------
+
+
+def inline_definitions(
+    term: Term,
+    definitions: dict[str, DefineFun],
+    shadowed: frozenset[str],
+    memo: dict[tuple[Term, frozenset[str]], Term],
+) -> Term:
+    """Beta-reduce every application (or nullary occurrence) of a defined
+    function.  ``shadowed`` holds binder names that hide same-named
+    definitions below them."""
+    if not definitions:
+        return term
+    key = (term, shadowed)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _inline_node(term, definitions, shadowed, memo)
+    memo[key] = result
+    return result
+
+
+def _inline_node(
+    term: Term,
+    definitions: dict[str, DefineFun],
+    shadowed: frozenset[str],
+    memo: dict[tuple[Term, frozenset[str]], Term],
+) -> Term:
+    if isinstance(term, Constant):
+        return term
+    if isinstance(term, Symbol):
+        definition = definitions.get(term.name)
+        if definition is not None and not definition.params and term.name not in shadowed:
+            return inline_definitions(definition.body, definitions, frozenset(), memo)
+        return term
+    if isinstance(term, Apply):
+        rewritten = []
+        for arg in term.args:
+            rewritten.append(inline_definitions(arg, definitions, shadowed, memo))
+        args = tuple(rewritten)
+        definition = definitions.get(term.op)
+        if definition is not None and not term.indices and term.op not in shadowed:
+            body = inline_definitions(definition.body, definitions, frozenset(), memo)
+            mapping = {name: arg for (name, _), arg in zip(definition.params, args)}
+            return substitute(body, mapping)
+        if args == term.args:
+            return term
+        return Apply(term.op, args, term.sort, term.indices)
+    if isinstance(term, Quantifier):
+        inner = shadowed | {name for name, _ in term.bindings}
+        body = inline_definitions(term.body, definitions, inner, memo)
+        if body is term.body:
+            return term
+        return Quantifier(term.kind, term.bindings, body)
+    if isinstance(term, Let):
+        bindings = tuple(
+            (name, inline_definitions(value, definitions, shadowed, memo))
+            for name, value in term.bindings
+        )
+        inner = shadowed | {name for name, _ in term.bindings}
+        body = inline_definitions(term.body, definitions, inner, memo)
+        return Let(bindings, body)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def expand_lets(term: Term, memo: dict[Term, Term]) -> Term:
+    """Substitute every ``let`` binder away (parallel-let semantics)."""
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    if isinstance(term, (Constant, Symbol)):
+        result: Term = term
+    elif isinstance(term, Apply):
+        rewritten = []
+        for arg in term.args:
+            rewritten.append(expand_lets(arg, memo))
+        args = tuple(rewritten)
+        result = term if args == term.args else Apply(term.op, args, term.sort, term.indices)
+    elif isinstance(term, Quantifier):
+        body = expand_lets(term.body, memo)
+        result = term if body is term.body else Quantifier(term.kind, term.bindings, body)
+    elif isinstance(term, Let):
+        mapping = {
+            name: expand_lets(value, memo) for name, value in term.bindings
+        }
+        body = expand_lets(term.body, memo)
+        result = substitute(body, mapping)
+    else:
+        raise TypeError(f"unknown term node: {term!r}")
+    memo[term] = result
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Equality expansion (theory preparation).
+# ---------------------------------------------------------------------------
+
+
+def expand_equalities(term: Term, memo: dict[Term, Term]) -> Term:
+    """Rewrite n-ary ``=``/``distinct`` over non-boolean arguments into
+    boolean structure over *binary* equalities.
+
+    ``(= a b c)`` becomes ``(and (= a b) (= b c))``; ``(distinct a b c)``
+    becomes the conjunction of ``(not (= x y))`` over all pairs; binary
+    ``distinct`` becomes a single negated equality.  Logically equivalent
+    in every theory, and it normalizes the atom vocabulary so the EUF
+    plugin only handles binary equalities.
+    """
+    cached = memo.get(term)
+    if cached is not None:
+        return cached
+    if isinstance(term, (Constant, Symbol)):
+        result: Term = term
+    elif isinstance(term, Apply):
+        rewritten = []
+        for arg in term.args:
+            rewritten.append(expand_equalities(arg, memo))
+        args = tuple(rewritten)
+        if (
+            term.op in ("=", "distinct")
+            and args
+            and args[0].sort != BOOL
+            and (len(args) > 2 or term.op == "distinct")
+        ):
+            if term.op == "=":
+                parts = [
+                    Apply("=", (left, right), BOOL)
+                    for left, right in zip(args, args[1:])
+                ]
+            else:
+                parts = [
+                    negate(Apply("=", (args[i], args[j]), BOOL))
+                    for i in range(len(args))
+                    for j in range(i + 1, len(args))
+                ]
+            result = parts[0] if len(parts) == 1 else Apply("and", tuple(parts), BOOL)
+        elif args == term.args:
+            result = term
+        else:
+            result = Apply(term.op, args, term.sort, term.indices)
+    elif isinstance(term, Quantifier):
+        body = expand_equalities(term.body, memo)
+        result = term if body is term.body else Quantifier(term.kind, term.bindings, body)
+    elif isinstance(term, Let):
+        bindings = tuple(
+            (name, expand_equalities(value, memo)) for name, value in term.bindings
+        )
+        body = expand_equalities(term.body, memo)
+        if body is term.body and all(
+            new is old for (_, new), (_, old) in zip(bindings, term.bindings)
+        ):
+            result = term
+        else:
+            result = Let(bindings, body)
+    else:
+        raise TypeError(f"unknown term node: {term!r}")
+    memo[term] = result
+    return result
+
+
+__all__ = [
+    "Frame",
+    "inline_definitions",
+    "expand_lets",
+    "expand_equalities",
+]

@@ -1,0 +1,71 @@
+"""Result shapes produced by script execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..smtlib.evaluate import FunctionInterpretation
+from ..smtlib.terms import Constant, Term
+
+
+@dataclass
+class CheckSatResult:
+    """The outcome of one ``(check-sat)``.
+
+    ``assertions`` are the asserted terms active at the check, with
+    ``define-fun`` applications inlined, ``let`` binders expanded and
+    n-ary (dis)equalities over non-boolean terms expanded to binary form —
+    exactly the terms a ``sat`` model is guaranteed to satisfy under
+    :func:`~repro.smtlib.evaluate.evaluate` (pass ``fun_interps`` as its
+    ``funs`` argument when uninterpreted functions are involved).
+    ``reason`` explains an ``unknown`` answer.  ``stats`` carries
+    per-check solver counters, CNF shape (``vars``, ``clauses``,
+    ``atoms``), incremental-encoding counters (``tseitin_new_vars``,
+    ``tseitin_new_clauses``, ``encoded_assertions``) and theory counters
+    (``euf_*``).  ``expected`` records the script's
+    ``(set-info :status ...)`` annotation, when present.
+    """
+
+    answer: str
+    model: Optional[dict[str, Constant]] = None
+    fun_interps: Optional[dict[str, FunctionInterpretation]] = None
+    assertions: tuple[Term, ...] = ()
+    reason: Optional[str] = None
+    stats: dict[str, int] = field(default_factory=dict)
+    expected: Optional[str] = None
+
+    @property
+    def contradicts_expected(self) -> bool:
+        """True when a definite answer contradicts the ``:status``
+        annotation (an ``unknown`` answer never contradicts anything)."""
+        return (
+            self.expected in ("sat", "unsat")
+            and self.answer in ("sat", "unsat")
+            and self.answer != self.expected
+        )
+
+
+@dataclass
+class ScriptResult:
+    """Everything one script run produced: per-``check-sat`` results and
+    the printable solver output (one entry per output-producing command)."""
+
+    check_results: list[CheckSatResult] = field(default_factory=list)
+    output: list[str] = field(default_factory=list)
+
+    @property
+    def answers(self) -> list[str]:
+        return [result.answer for result in self.check_results]
+
+    @property
+    def status_mismatches(self) -> list[int]:
+        """Indices of check-sat results contradicting their ``:status``."""
+        return [
+            index
+            for index, result in enumerate(self.check_results)
+            if result.contradicts_expected
+        ]
+
+
+__all__ = ["CheckSatResult", "ScriptResult"]

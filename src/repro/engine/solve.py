@@ -1,0 +1,568 @@
+"""The incremental CDCL(T) solve loop.
+
+:class:`Engine` executes a script command by command.  Unlike the PR-3
+monolith it keeps **one** SAT solver and **one** Tseitin encoder alive for
+the whole run:
+
+* Every assertion-stack frame owns a *selector* variable; an assertion in
+  frame ``i`` is encoded once as the guarded clause ``(¬sel_i ∨ root)``
+  and every ``check-sat`` solves under the assumptions ``sel_0 … sel_k``
+  of the live frames.  ``pop`` retires a frame by adding the permanent
+  unit ``¬sel_i`` — its clauses become vacuous, while learned clauses
+  (which may mention selectors) stay valid and keep pruning later checks.
+* The encoder's node → literal memo is keyed on hash-consed terms, so a
+  ``check-sat`` after ``push``/``pop`` re-encodes **nothing** for
+  unchanged assertions (the ``tseitin_new_vars`` statistic is 0).
+* Theory reasoning is layered in through :class:`repro.sat.TheoryHook`:
+  the hook keeps an :class:`~repro.theory.EufTheory` synchronized with
+  the SAT trail via per-literal checkpoints (``push`` on assert,
+  ``pop`` on backtrack) and translates theory conflicts into blocking
+  clauses over the atom variables.
+
+Answer semantics stay *sound*:
+
+* ``unsat`` — the guarded CNF plus theory lemmas is unsatisfiable under
+  the live selectors.  Atoms no theory owns are abstracted (an
+  over-approximation), so propositional unsatisfiability implies real
+  unsatisfiability.
+* ``sat`` — only when every atom of the live assertions is either a
+  boolean symbol (decided by the SAT core) or owned by EUF, *and* the
+  assembled model — boolean values, congruence-class values and
+  uninterpreted-function graphs — makes
+  :func:`~repro.smtlib.evaluate.evaluate` return ``true`` on every live
+  assertion.  The validation runs inside the engine; a model that cannot
+  be built or checked demotes the answer to ``unknown``.
+* anything else — ``unknown`` with a reason (``abstracted-atoms``,
+  ``conflict-limit``, ``model-construction-failed``,
+  ``model-validation-failed``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from ..errors import EvaluationError, SolverError
+from ..sat import SAT, UNKNOWN, UNSAT, Solver, TheoryHook
+from ..sat.dimacs import to_dimacs
+from ..smtlib.cnf import skeleton_atoms
+from ..smtlib.evaluate import FunctionInterpretation, evaluate
+from ..smtlib.parser import parse_script
+from ..smtlib.printer import (
+    constant_to_smtlib,
+    sort_to_smtlib,
+    symbol_to_smtlib,
+    term_to_smtlib,
+)
+from ..smtlib.script import (
+    Assert,
+    CheckSat,
+    Command,
+    DeclareConst,
+    DeclareFun,
+    DefineFun,
+    Exit,
+    GetModel,
+    GetValue,
+    Pop,
+    Push,
+    Script,
+    SetInfo,
+)
+from ..smtlib.simplify import simplify, to_nnf
+from ..smtlib.sorts import BOOL, Sort
+from ..smtlib.terms import FALSE, TRUE, Constant, Symbol, Term, bool_const
+from ..theory import EufTheory, SortValueAllocator, Theory
+from .atoms import AtomRegistry
+from .context import Frame, expand_equalities, expand_lets, inline_definitions
+from .result import CheckSatResult, ScriptResult
+
+
+class _TheorySync(TheoryHook):
+    """Keeps a :class:`Theory` synchronized with the SAT trail.
+
+    The hook re-reads the trail at every callback, pops the theory to the
+    longest common prefix with what it asserted last time (per-literal
+    checkpoints make this exact), asserts the new suffix, and converts
+    any :class:`~repro.theory.TheoryConflict` into a blocking clause over
+    the atom variables.
+    """
+
+    def __init__(
+        self,
+        theory: Theory,
+        var_to_atom: dict[int, Term],
+        atom_vars: dict[Term, int],
+    ) -> None:
+        self._theory = theory
+        self._var_to_atom = var_to_atom
+        self._atom_vars = atom_vars
+        self._synced: list[int] = []
+
+    def on_check(self, solver: Solver, final: bool) -> Iterable[Sequence[int]]:
+        trail = solver.trail
+        synced = self._synced
+        # The solver's low watermark bounds how far the trail can have
+        # been rewound since the last callback, so synchronization costs
+        # O(popped + appended), not a prefix rescan per fixpoint.
+        keep = min(len(synced), solver.trail_watermark())
+        if keep < len(synced):
+            self._theory.pop(len(synced) - keep)
+            del synced[keep:]
+        conflict = None
+        for lit in trail[len(synced) :]:
+            self._theory.push()
+            synced.append(lit)
+            atom = self._var_to_atom.get(abs(lit))
+            if atom is not None:
+                conflict = self._theory.assert_literal(atom, lit > 0)
+                if conflict is not None:
+                    break
+        if conflict is None and final:
+            conflict = self._theory.check()
+        if conflict is None:
+            return ()
+        clause = []
+        for atom, positive in conflict.literals:
+            var = self._atom_vars[atom]
+            clause.append(-var if positive else var)
+        return (clause,)
+
+
+class Engine:
+    """Executes scripts; one instance per run (:meth:`run` resets state).
+
+    ``conflict_limit`` bounds the CDCL search per ``check-sat`` (exhausted
+    → ``unknown`` with reason ``conflict-limit``).  ``theory_eager``
+    controls whether the theory hook runs at every decision-level
+    fixpoint (the default) or only at full assignments.
+    """
+
+    def __init__(
+        self,
+        conflict_limit: Optional[int] = None,
+        theory_eager: bool = True,
+    ) -> None:
+        self._conflict_limit = conflict_limit
+        self._theory_eager = theory_eager
+        self._reset()
+
+    def _reset(self) -> None:
+        self._frames: list[Frame] = [Frame()]
+        self._solver = Solver()
+        self._registry = AtomRegistry()
+        self._clauses_shipped = 0
+        self._last: Optional[CheckSatResult] = None
+        self._status: Optional[str] = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def solver(self) -> Solver:
+        """The persistent SAT core (live across ``check-sat`` calls)."""
+        return self._solver
+
+    @property
+    def registry(self) -> AtomRegistry:
+        """The persistent atom ↔ variable registry."""
+        return self._registry
+
+    @property
+    def expected_status(self) -> Optional[str]:
+        """The pending ``(set-info :status ...)`` value, if any.
+
+        Following the benchmark convention, an annotation applies to the
+        *next* ``check-sat`` (multi-query scripts re-annotate before each
+        query); the check consumes it.
+        """
+        return self._status
+
+    def dimacs(self, comments: Iterable[str] = ()) -> str:
+        """The current solver CNF (gates, guards, facts and theory
+        lemmas) in DIMACS format."""
+        num_vars, clauses = self._solver.export_cnf()
+        return to_dimacs(max(num_vars, self._registry.num_vars), clauses, comments)
+
+    # -- command loop -------------------------------------------------------
+
+    def run(self, script: Script) -> ScriptResult:
+        """Execute every command of ``script`` and collect the results."""
+        self._reset()
+        result = ScriptResult()
+        for command in script.commands:
+            if isinstance(command, Exit):
+                break
+            self._execute(command, result)
+        return result
+
+    def _execute(self, command: Command, result: ScriptResult) -> None:
+        if isinstance(command, Assert):
+            self._frames[-1].assertions.append(command.term)
+        elif isinstance(command, CheckSat):
+            check = self._check_sat()
+            self._last = check
+            result.check_results.append(check)
+            result.output.append(check.answer)
+        elif isinstance(command, GetModel):
+            result.output.append(self._get_model())
+        elif isinstance(command, GetValue):
+            result.output.append(self._get_value(command.terms))
+        elif isinstance(command, Push):
+            for _ in range(command.levels):
+                self._frames.append(Frame())
+        elif isinstance(command, Pop):
+            if command.levels >= len(self._frames):
+                raise SolverError(
+                    f"cannot pop {command.levels} level(s) at depth {len(self._frames)}"
+                )
+            for frame in self._frames[len(self._frames) - command.levels :]:
+                if frame.selector is not None:
+                    # Retire the frame: its guarded clauses become vacuous.
+                    self._add_clause((-frame.selector,))
+            del self._frames[len(self._frames) - command.levels :]
+        elif isinstance(command, DefineFun):
+            self._frames[-1].definitions[command.name] = command
+        elif isinstance(command, DeclareConst):
+            self._frames[-1].consts[command.name] = command.sort
+        elif isinstance(command, DeclareFun):
+            if command.params:
+                self._frames[-1].funs[command.name] = command.signature
+            else:
+                self._frames[-1].consts[command.name] = command.result
+        elif isinstance(command, SetInfo):
+            if command.keyword == ":status" and command.value in (
+                "sat",
+                "unsat",
+                "unknown",
+            ):
+                self._status = command.value
+        # set-logic / set-option / other set-info / declare-sort: no action.
+
+    # -- incremental encoding ------------------------------------------------
+
+    def _add_clause(self, clause: Sequence[int]) -> None:
+        self._clauses_shipped += 1
+        self._solver.add_clause(clause)
+
+    def _prepare_frames(self) -> None:
+        """Inline/expand/simplify assertions added since the last check."""
+        definitions: dict[str, DefineFun] = {}
+        for frame in self._frames:
+            definitions.update(frame.definitions)
+        inline_memo: dict[tuple[Term, frozenset[str]], Term] = {}
+        let_memo: dict[Term, Term] = {}
+        eq_memo: dict[Term, Term] = {}
+        for frame in self._frames:
+            while len(frame.prepared) < len(frame.assertions):
+                term = frame.assertions[len(frame.prepared)]
+                term = inline_definitions(term, definitions, frozenset(), inline_memo)
+                term = expand_lets(term, let_memo)
+                term = expand_equalities(term, eq_memo)
+                frame.prepared.append(term)
+                frame.simplified.append(simplify(term))
+
+    def _encode_frames(self) -> tuple[int, int, int]:
+        """Encode assertions added since the last check; returns the
+        ``(new roots, new vars, new clauses)`` statistics triple."""
+        vars_before = self._registry.num_vars
+        shipped_before = self._clauses_shipped
+        new_roots = 0
+        for frame in self._frames:
+            if frame.selector is None:
+                frame.selector = self._registry.new_selector()
+            while frame.encoded < len(frame.simplified):
+                term = frame.simplified[frame.encoded]
+                frame.encoded += 1
+                if term is TRUE or term is FALSE:
+                    # TRUE constrains nothing; FALSE short-circuits in
+                    # _check_sat before the solver ever runs.
+                    frame.atom_lists.append(())
+                    continue
+                nnf = to_nnf(term)
+                root = self._registry.encode(nnf)
+                frame.atom_lists.append(tuple(skeleton_atoms(nnf)))
+                new_roots += 1
+                for clause in self._registry.drain_clauses():
+                    self._add_clause(clause)
+                self._add_clause((-frame.selector, root))
+        self._solver.ensure_vars(self._registry.num_vars)
+        return (
+            new_roots,
+            self._registry.num_vars - vars_before,
+            self._clauses_shipped - shipped_before,
+        )
+
+    # -- the check-sat pipeline ---------------------------------------------
+
+    def _check_sat(self) -> CheckSatResult:
+        expected, self._status = self._status, None
+        self._prepare_frames()
+        active_prepared = tuple(
+            term for frame in self._frames for term in frame.prepared
+        )
+
+        if any(
+            term is FALSE for frame in self._frames for term in frame.simplified
+        ):
+            stats = dict.fromkeys(self._solver.stats, 0)
+            stats.update(
+                vars=0,
+                clauses=0,
+                atoms=0,
+                trivial=1,
+                tseitin_new_vars=0,
+                tseitin_new_clauses=0,
+                encoded_assertions=0,
+                learned_db=self._solver.num_learnts,
+            )
+            return CheckSatResult(
+                "unsat",
+                assertions=active_prepared,
+                stats=stats,
+                expected=expected,
+            )
+
+        new_roots, new_vars, new_clauses = self._encode_frames()
+        active_atoms: list[Term] = []
+        seen_atoms: set[Term] = set()
+        for frame in self._frames:
+            for atoms in frame.atom_lists:
+                for atom in atoms:
+                    if atom not in seen_atoms:
+                        seen_atoms.add(atom)
+                        active_atoms.append(atom)
+
+        uninterpreted = frozenset(
+            name for frame in self._frames for name in frame.funs
+        )
+        theory: Optional[Theory] = EufTheory(uninterpreted=uninterpreted)
+        owned: list[Term] = []
+        unowned: list[Term] = []
+        for atom in active_atoms:
+            if isinstance(atom, Symbol) and atom.sort == BOOL:
+                continue  # the SAT core owns plain boolean symbols
+            if theory.owns_atom(atom):
+                owned.append(atom)
+            else:
+                unowned.append(atom)
+        if owned:
+            atom_vars = self._registry.atom_vars
+            var_to_atom = {atom_vars[atom]: atom for atom in owned}
+            self._solver.theory = _TheorySync(theory, var_to_atom, atom_vars)
+            self._solver.theory_eager = self._theory_eager
+        else:
+            theory = None
+            self._solver.theory = None
+
+        before = dict(self._solver.stats)
+        # _encode_frames allocated every selector; the filter is for typing.
+        selectors = [
+            frame.selector for frame in self._frames if frame.selector is not None
+        ]
+        answer = self._solver.solve(
+            conflict_limit=self._conflict_limit,
+            assumptions=selectors,
+        )
+        stats = {
+            key: value - before.get(key, 0)
+            for key, value in self._solver.stats.items()
+        }
+        stats.update(
+            vars=self._registry.num_vars,
+            clauses=self._clauses_shipped,
+            atoms=len(active_atoms),
+            tseitin_new_vars=new_vars,
+            tseitin_new_clauses=new_clauses,
+            encoded_assertions=new_roots,
+            learned_db=self._solver.num_learnts,
+        )
+        if theory is not None:
+            for key, value in theory.stats.items():
+                stats[f"euf_{key}"] = value
+
+        def outcome(
+            kind: str,
+            reason: Optional[str] = None,
+            model: Optional[dict[str, Constant]] = None,
+            fun_interps: Optional[dict[str, FunctionInterpretation]] = None,
+        ) -> CheckSatResult:
+            return CheckSatResult(
+                kind,
+                model=model,
+                fun_interps=fun_interps,
+                assertions=active_prepared,
+                reason=reason,
+                stats=stats,
+                expected=expected,
+            )
+
+        if answer == UNSAT:
+            return outcome("unsat")
+        if answer == UNKNOWN:
+            return outcome("unknown", reason="conflict-limit")
+        assert answer == SAT
+        if unowned:
+            return outcome("unknown", reason="abstracted-atoms")
+
+        model, fun_interps, failure = self._build_model(theory, active_atoms)
+        if failure is not None:
+            return outcome("unknown", reason=failure)
+        assert model is not None
+        try:
+            for term in active_prepared:
+                if evaluate(term, model, fun_interps) is not TRUE:
+                    return outcome("unknown", reason="model-validation-failed")
+        except EvaluationError:
+            return outcome("unknown", reason="model-validation-failed")
+        return outcome("sat", model=model, fun_interps=fun_interps)
+
+    def _build_model(
+        self,
+        theory: Optional[Theory],
+        active_atoms: list[Term],
+    ) -> tuple[
+        Optional[dict[str, Constant]],
+        dict[str, FunctionInterpretation],
+        Optional[str],
+    ]:
+        """Assemble the script-level model from the SAT assignment, the
+        theory's congruence classes and per-sort default values."""
+        sat_model = self._solver.model
+        assert sat_model is not None
+        atom_vars = self._registry.atom_vars
+        model: dict[str, Constant] = {}
+        for atom in active_atoms:
+            if isinstance(atom, Symbol) and atom.sort == BOOL:
+                model[atom.name] = bool_const(sat_model[atom_vars[atom]])
+        allocator = SortValueAllocator()
+        fun_interps: dict[str, FunctionInterpretation] = {}
+        if theory is not None:
+            theory_model = theory.model(allocator)
+            if theory_model is None:
+                return None, {}, "model-construction-failed"
+            model.update(theory_model.values)
+            fun_interps = theory_model.functions
+        free: dict[str, Sort] = {}
+        for frame in self._frames:
+            for term in frame.prepared:
+                free.update(term.free_symbols())
+        for name, sort in free.items():
+            if name in model:
+                continue
+            if sort == BOOL:
+                model[name] = FALSE
+                continue
+            value = allocator.fresh(sort)
+            if value is None:
+                return None, {}, "model-construction-failed"
+            model[name] = value
+        # Declared-but-unused constants are don't-cares; give them values
+        # anyway so (get-model) is total over the declarations.
+        for frame in self._frames:
+            for name, sort in frame.consts.items():
+                if name in model:
+                    continue
+                if sort == BOOL:
+                    model[name] = FALSE
+                else:
+                    value = allocator.fresh(sort)
+                    if value is not None:
+                        model[name] = value
+        return model, fun_interps, None
+
+    # -- model queries ------------------------------------------------------
+
+    def _get_model(self) -> str:
+        if self._last is None or self._last.model is None:
+            return '(error "no model available: last check-sat was not sat")'
+        lines = ["(model"]
+        for name in sorted(self._last.model):
+            value = self._last.model[name]
+            lines.append(
+                f"  (define-fun {symbol_to_smtlib(name)} ()"
+                f" {sort_to_smtlib(value.sort)} {constant_to_smtlib(value)})"
+            )
+        for name in sorted(self._last.fun_interps or ()):
+            rendered = self._render_interpretation(
+                name, (self._last.fun_interps or {})[name]
+            )
+            if rendered is not None:
+                lines.append(rendered)
+        lines.append(")")
+        return "\n".join(lines)
+
+    def _render_interpretation(
+        self, name: str, interp: FunctionInterpretation
+    ) -> Optional[str]:
+        signature = None
+        for frame in self._frames:
+            signature = frame.funs.get(name, signature)
+        if signature is None:
+            return None
+        params = [f"x!{index}" for index in range(len(signature.params))]
+        header = " ".join(
+            f"({param} {sort_to_smtlib(sort)})"
+            for param, sort in zip(params, signature.params)
+        )
+        body = constant_to_smtlib(interp.default)
+        entries = sorted(
+            interp.entries.items(),
+            key=lambda item: tuple(constant_to_smtlib(c) for c in item[0]),
+            reverse=True,
+        )
+        for key, value in entries:
+            tests = [
+                f"(= {param} {constant_to_smtlib(constant)})"
+                for param, constant in zip(params, key)
+            ]
+            condition = tests[0] if len(tests) == 1 else "(and {})".format(" ".join(tests))
+            body = f"(ite {condition} {constant_to_smtlib(value)} {body})"
+        return (
+            f"  (define-fun {symbol_to_smtlib(name)} ({header})"
+            f" {sort_to_smtlib(signature.result)} {body})"
+        )
+
+    def _get_value(self, terms: tuple[Term, ...]) -> str:
+        if self._last is None or self._last.model is None:
+            return '(error "no model available: last check-sat was not sat")'
+        definitions: dict[str, DefineFun] = {}
+        for frame in self._frames:
+            definitions.update(frame.definitions)
+        inline_memo: dict[tuple[Term, frozenset[str]], Term] = {}
+        let_memo: dict[Term, Term] = {}
+        pairs = []
+        for term in terms:
+            prepared = expand_lets(
+                inline_definitions(term, definitions, frozenset(), inline_memo),
+                let_memo,
+            )
+            try:
+                value = evaluate(prepared, self._last.model, self._last.fun_interps)
+            except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+                return f'(error "cannot evaluate {term_to_smtlib(term)}: {exc}")'
+            pairs.append(f"({term_to_smtlib(term)} {constant_to_smtlib(value)})")
+        return "({})".format(" ".join(pairs))
+
+
+# ---------------------------------------------------------------------------
+# Public entry points.
+# ---------------------------------------------------------------------------
+
+
+def run_script(
+    source: Union[str, Script], conflict_limit: Optional[int] = None
+) -> ScriptResult:
+    """Parse (when given text) and execute a script; return the full
+    :class:`ScriptResult` including printable output."""
+    script = parse_script(source) if isinstance(source, str) else source
+    return Engine(conflict_limit=conflict_limit).run(script)
+
+
+def solve_script(
+    source: Union[str, Script], conflict_limit: Optional[int] = None
+) -> list[CheckSatResult]:
+    """Execute a script and return one :class:`CheckSatResult` per
+    ``(check-sat)``, in script order."""
+    return run_script(source, conflict_limit=conflict_limit).check_results
+
+
+__all__ = ["Engine", "run_script", "solve_script"]

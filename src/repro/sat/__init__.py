@@ -15,10 +15,11 @@ back to SMT-LIB constants.
 """
 
 from .dimacs import from_dimacs, to_dimacs
-from .solver import SAT, UNKNOWN, UNSAT, Solver, luby
+from .solver import SAT, UNKNOWN, UNSAT, Solver, TheoryHook, luby
 
 __all__ = [
     "Solver",
+    "TheoryHook",
     "SAT",
     "UNSAT",
     "UNKNOWN",

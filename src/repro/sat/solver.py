@@ -23,6 +23,29 @@ The solver is a faithful, compact rendition of the modern SAT loop:
   its budget, the less active half is dropped (binary and reason clauses
   are kept).
 
+The solver is *incremental* — the DPLL(T) engine drives it through three
+extensions of the classic loop:
+
+* **Assumptions** — ``solve(assumptions=[...])`` decides the given
+  literals first, one pseudo-decision level each, before any free
+  decision.  When an assumption cannot hold, the answer is ``unsat`` and
+  :attr:`failed_assumptions` holds a subset of the assumptions that is
+  already inconsistent (the *final-conflict* core, from a reason-graph
+  walk).  Assumption failure is not permanent: clauses and new
+  assumptions may follow.
+* **Clause addition between solves** — :meth:`add_clause` may be called
+  after any :meth:`solve` return; new clauses attach to the live watch
+  lists and learned clauses persist, so repeated solving resumes instead
+  of restarting.
+* **Theory hook** — a :class:`TheoryHook` attached via :attr:`theory` is
+  invoked at propositional fixpoints (every one when :attr:`theory_eager`
+  is set, and always at a *full* assignment before ``sat`` is declared).
+  The hook returns *lemma clauses* which the solver integrates mid-search
+  with proper backjumping: a falsified lemma becomes the next conflict to
+  analyze, a unit lemma backjumps and propagates, and anything else simply
+  attaches.  Lemmas are theory-valid, so they join the problem clauses
+  and are never deleted by database reduction.
+
 Variables are ``1..n``; literals are signed non-zero integers (DIMACS
 convention).  The solver is deterministic: the same clauses added in the
 same order always produce the same answer, model and statistics.
@@ -61,6 +84,26 @@ def luby(i: int) -> int:
             return 1 << (k - 1)
         i -= (1 << (k - 1)) - 1
         # i was strictly between 2^(k-1)-1 and 2^k-1: recurse on the tail.
+
+
+class TheoryHook:
+    """Theory-solver callback consulted at propositional fixpoints.
+
+    Subclass and attach via :attr:`Solver.theory`.  :meth:`on_check` runs
+    whenever unit propagation reaches a fixpoint without conflict —
+    always when the assignment is *full* (``final=True``, the last gate
+    before the solver answers ``sat``), and additionally at every
+    decision level when :attr:`Solver.theory_eager` is set.  It may read
+    the solver's :attr:`~Solver.trail` and :meth:`~Solver.value` and must
+    return lemma clauses (iterables of literals) that are valid in the
+    theory; returning a clause falsified by the current assignment is the
+    way to veto it.  The solver integrates each lemma with backjumping
+    and re-runs propagation, so a hook is re-consulted only after its
+    lemmas changed the search.
+    """
+
+    def on_check(self, solver: "Solver", final: bool) -> Iterable[Sequence[int]]:
+        return ()
 
 
 class _Clause:
@@ -111,12 +154,21 @@ class Solver:
         self._learnts: list[_Clause] = []
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
+        self._trail_low = 0
         self._qhead = 0
         self._order: list[tuple[float, int]] = []  # lazy max-heap: (-activity, var)
         self._var_inc = 1.0
         self._cla_inc = 1.0
         self._unsat = False
         self._model: Optional[list[bool]] = None
+        self._failed_assumptions: Optional[tuple[int, ...]] = None
+        #: Theory callback consulted at propositional fixpoints (see
+        #: :class:`TheoryHook`); ``None`` runs the solver purely
+        #: propositionally.
+        self.theory: Optional[TheoryHook] = None
+        #: When set, the theory hook also runs at every decision-level
+        #: fixpoint, not only at full assignments.
+        self.theory_eager: bool = True
         self.stats: dict[str, int] = {
             "decisions": 0,
             "conflicts": 0,
@@ -125,6 +177,9 @@ class Solver:
             "learned": 0,
             "deleted": 0,
             "minimized": 0,
+            "theory_checks": 0,
+            "theory_lemmas": 0,
+            "theory_conflicts": 0,
         }
         if num_vars:
             self.ensure_vars(num_vars)
@@ -239,6 +294,63 @@ class Solver:
         (index 0 is padding).  ``None`` otherwise."""
         return self._model
 
+    @property
+    def failed_assumptions(self) -> Optional[tuple[int, ...]]:
+        """After an ``unsat`` answer under assumptions: a subset of the
+        assumptions that is already inconsistent with the clauses (empty
+        when the clauses are unsatisfiable outright).  ``None`` before any
+        solve and after ``sat``/``unknown``."""
+        return self._failed_assumptions
+
+    @property
+    def trail(self) -> list[int]:
+        """The assigned literals in assignment order (read-only view for
+        theory hooks; do not mutate)."""
+        return self._trail
+
+    def trail_watermark(self) -> int:
+        """Lowest trail length since the previous call — the prefix of
+        :attr:`trail` guaranteed unchanged — then reset to the current
+        length.  Theory hooks use this to synchronize in O(delta) per
+        callback instead of rescanning the whole trail: positions below
+        the watermark can only have changed through a backtrack, which
+        lowers it."""
+        mark = min(self._trail_low, len(self._trail))
+        self._trail_low = len(self._trail)
+        return mark
+
+    def value(self, lit: int) -> int:
+        """Current assignment of a literal: 1 true, -1 false, 0 unassigned."""
+        value = self._values[abs(lit)]
+        return value if lit > 0 else -value
+
+    def level(self, var: int) -> int:
+        """Decision level at which ``var`` was assigned (0 for facts)."""
+        return self._levels[var]
+
+    @property
+    def num_learnts(self) -> int:
+        """Learned clauses currently in the database."""
+        return len(self._learnts)
+
+    def export_cnf(self) -> tuple[int, list[tuple[int, ...]]]:
+        """Snapshot the current problem as ``(num_vars, clauses)``.
+
+        Includes level-0 facts (as unit clauses) and every attached
+        problem clause — theory lemmas count as problem clauses; learned
+        clauses are omitted.  Clauses satisfied or simplified away at
+        addition time are not reconstructed.  Must be called at decision
+        level 0 (i.e. outside :meth:`solve`).
+        """
+        if self._trail_lim:
+            raise ValueError("export_cnf requires decision level 0")
+        clauses: list[tuple[int, ...]] = [(lit,) for lit in self._trail]
+        if self._unsat:
+            clauses.append(())
+        for clause in self._clauses:
+            clauses.append(tuple(clause.lits))
+        return self._num_vars, clauses
+
     def _assign(self, lit: int, reason: Optional[_Clause]) -> None:
         var = abs(lit)
         self._values[var] = 1 if lit > 0 else -1
@@ -261,6 +373,8 @@ class Solver:
             heappush(order, (-activity[var], var))
         del self._trail[bound:]
         del self._trail_lim[level:]
+        if bound < self._trail_low:
+            self._trail_low = bound
         self._qhead = bound
 
     # -- propagation --------------------------------------------------------
@@ -402,6 +516,121 @@ class Solver:
         self._attach(clause)
         self._assign(lits[0], clause)
 
+    def _analyze_final(self, p: int) -> tuple[int, ...]:
+        """Assumption ``p`` is false under the current (assumption-only)
+        trail: walk the reason graph backward and collect the assumptions
+        that imply ``not p``.  Returns the failed core including ``p``."""
+        out = [p]
+        if not self._trail_lim:
+            return tuple(out)
+        seen = self._seen
+        seen[abs(p)] = 1
+        for index in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[index]
+            var = abs(lit)
+            if not seen[var]:
+                continue
+            reason = self._reasons[var]
+            if reason is None:
+                # A decision above level 0 during the assumption phase is
+                # always an assumption literal itself.
+                out.append(lit)
+            else:
+                for q in reason.lits:
+                    qvar = abs(q)
+                    if qvar != var and self._levels[qvar] > 0:
+                        seen[qvar] = 1
+            seen[var] = 0
+        seen[abs(p)] = 0
+        return tuple(out)
+
+    # -- theory lemmas ------------------------------------------------------
+
+    def _theory_check(self, final: bool) -> Optional[_Clause]:
+        """Consult the theory hook and integrate its lemmas.  Returns a
+        conflicting clause for the main loop to analyze, or ``None``; may
+        set the global unsat flag (level-0 theory conflict)."""
+        assert self.theory is not None
+        self.stats["theory_checks"] += 1
+        for lits in self.theory.on_check(self, final):
+            self.stats["theory_lemmas"] += 1
+            conflict = self._integrate_lemma([int(lit) for lit in lits])
+            if self._unsat:
+                return None
+            if conflict is not None:
+                # Handle the first conflicting lemma; the hook regenerates
+                # anything it still cares about at the next fixpoint.
+                self.stats["theory_conflicts"] += 1
+                return conflict
+        return None
+
+    def _integrate_lemma(self, lits: list[int]) -> Optional[_Clause]:
+        """Attach a theory lemma mid-search, backjumping as needed.
+
+        The lemma joins the problem clauses (theory lemmas are valid, so
+        they survive database reduction).  A falsified lemma backjumps to
+        its highest assignment level and is returned as the conflict to
+        analyze; a unit lemma backjumps and asserts its literal; anything
+        else attaches watching two non-false literals.
+        """
+        seen: set[int] = set()
+        out: list[int] = []
+        for lit in lits:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            self.ensure_vars(abs(lit))
+            if -lit in seen:
+                return None  # tautology
+            if lit in seen:
+                continue
+            if self.value(lit) == -1 and self._levels[abs(lit)] == 0:
+                continue  # false fact: drop the literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._unsat = True
+            return None
+        if len(out) == 1:
+            self._cancel_until(0)
+            unit = out[0]
+            value = self.value(unit)
+            if value == -1:
+                self._unsat = True
+            elif value == 0:
+                self._assign(unit, None)
+            return None
+        false_lits = sorted(
+            (lit for lit in out if self.value(lit) == -1),
+            key=lambda lit: -self._levels[abs(lit)],
+        )
+        non_false = [lit for lit in out if self.value(lit) != -1]
+        if len(non_false) >= 2:
+            clause = _Clause(non_false + false_lits)
+            self._clauses.append(clause)
+            self._attach(clause)
+            return None
+        if len(non_false) == 1:
+            unit = non_false[0]
+            backjump = self._levels[abs(false_lits[0])]
+            if not (self.value(unit) == 1 and self._levels[abs(unit)] <= backjump):
+                self._cancel_until(backjump)
+            clause = _Clause([unit] + false_lits)
+            self._clauses.append(clause)
+            self._attach(clause)
+            if self.value(unit) == 0:
+                self._assign(unit, clause)
+            return None
+        # Every literal is false: this lemma vetoes the current assignment.
+        backjump = self._levels[abs(false_lits[0])]
+        if backjump == 0:
+            self._unsat = True
+            return None
+        self._cancel_until(backjump)
+        clause = _Clause(false_lits)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return clause
+
     # -- activity -----------------------------------------------------------
 
     def _bump_var(self, var: int) -> None:
@@ -460,31 +689,58 @@ class Solver:
 
     # -- the main loop ------------------------------------------------------
 
-    def solve(self, conflict_limit: Optional[int] = None) -> str:
-        """Decide the conjunction of all added clauses.
+    def solve(
+        self,
+        conflict_limit: Optional[int] = None,
+        assumptions: Sequence[int] = (),
+    ) -> str:
+        """Decide the conjunction of all added clauses under ``assumptions``.
 
         Returns :data:`SAT` (a model is available via :attr:`model`),
-        :data:`UNSAT`, or :data:`UNKNOWN` when ``conflict_limit`` conflicts
-        were exhausted first.  Always returns at decision level 0.
+        :data:`UNSAT` (with :attr:`failed_assumptions` populated when
+        assumptions were involved), or :data:`UNKNOWN` when
+        ``conflict_limit`` conflicts were exhausted first.  Always returns
+        at decision level 0; learned clauses, activities and theory lemmas
+        persist for the next call.
         """
+        assumed = [int(lit) for lit in assumptions]
+        for lit in assumed:
+            if lit == 0:
+                raise ValueError("0 is not a literal")
+            self.ensure_vars(abs(lit))
+        self._failed_assumptions = None
         if self._unsat:
+            self._failed_assumptions = ()
             return UNSAT
+        self._model = None
         if self._propagate() is not None:
             self._unsat = True
+            self._failed_assumptions = ()
             return UNSAT
         conflicts = 0
         restarts = 0
         restart_limit = RESTART_BASE * luby(1)
         conflicts_since_restart = 0
         max_learnts = max(len(self._clauses) // 3, 100)
+        pending: Optional[_Clause] = None
         while True:
-            conflict = self._propagate()
+            conflict = pending if pending is not None else self._propagate()
+            pending = None
+            if conflict is None and self.theory is not None and self.theory_eager:
+                conflict = self._theory_check(final=False)
+                if self._unsat:
+                    self._failed_assumptions = ()
+                    self._cancel_until(0)
+                    return UNSAT
+                if conflict is None and self._qhead < len(self._trail):
+                    continue  # a theory lemma propagated: reach a fixpoint first
             if conflict is not None:
                 conflicts += 1
                 conflicts_since_restart += 1
                 self.stats["conflicts"] += 1
                 if not self._trail_lim:
                     self._unsat = True
+                    self._failed_assumptions = ()
                     return UNSAT
                 learnt, backtrack_level = self._analyze(conflict)
                 self._cancel_until(backtrack_level)
@@ -504,8 +760,31 @@ class Solver:
                 continue
             if len(self._learnts) - len(self._trail) >= max_learnts:
                 self._reduce_db()
+            if len(self._trail_lim) < len(assumed):
+                # Decide pending assumptions first, one pseudo-level each.
+                lit = assumed[len(self._trail_lim)]
+                value = self.value(lit)
+                if value == -1:
+                    self._failed_assumptions = self._analyze_final(lit)
+                    self._cancel_until(0)
+                    return UNSAT
+                self._trail_lim.append(len(self._trail))
+                if value == 0:
+                    self._assign(lit, None)
+                continue
             var = self._decide()
             if var == 0:
+                if self.theory is not None:
+                    conflict = self._theory_check(final=True)
+                    if self._unsat:
+                        self._failed_assumptions = ()
+                        self._cancel_until(0)
+                        return UNSAT
+                    if conflict is not None:
+                        pending = conflict
+                        continue
+                    if self._qhead < len(self._trail):
+                        continue  # lemma propagations must settle first
                 self._model = [False] + [
                     self._values[v] == 1 for v in range(1, self._num_vars + 1)
                 ]
@@ -516,4 +795,4 @@ class Solver:
             self._assign(var if self._phase[var] else -var, None)
 
 
-__all__ = ["Solver", "SAT", "UNSAT", "UNKNOWN", "RESTART_BASE", "luby"]
+__all__ = ["Solver", "TheoryHook", "SAT", "UNSAT", "UNKNOWN", "RESTART_BASE", "luby"]

@@ -17,7 +17,7 @@ skeletonizer, reducer, oracle) program against.
 """
 
 from .cnf import CnfFormula, TseitinEncoder, is_connective, skeleton_atoms, tseitin
-from .evaluate import evaluate, evaluate_value, fold_apply
+from .evaluate import FunctionInterpretation, evaluate, evaluate_value, fold_apply
 from .lexer import RESERVED_WORDS, Token, TokenKind, is_simple_symbol, iter_tokens, tokenize
 from .parser import parse_command, parse_script, parse_sort, parse_term
 from .simplify import simplify, simplify_script, to_nnf
@@ -189,6 +189,7 @@ __all__ = [
     # evaluate
     "evaluate",
     "evaluate_value",
+    "FunctionInterpretation",
     "fold_apply",
     # printer
     "symbol_to_smtlib",

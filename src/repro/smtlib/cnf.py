@@ -113,6 +113,14 @@ class TseitinEncoder:
         """Constrain ``term`` to hold: encode it and add its unit clause."""
         self.formula.clauses.append((self.encode(term),))
 
+    def new_var(self) -> int:
+        """Allocate a fresh non-atom variable in the encoder's space.
+
+        The incremental engine draws its frame *selector* literals from
+        here so clauses, atoms and selectors share one numbering.
+        """
+        return self._new_var()
+
     def encode(self, term: Term) -> int:
         """The literal equivalent to ``term`` (memoized per DAG node)."""
         if term.sort != BOOL:

@@ -71,9 +71,15 @@ def _mask(width: int) -> int:
 
 def _is_literal(constant: Constant) -> bool:
     # Unqualified literals and finite-field constants denote pairwise
-    # distinct values; other qualified constants (seq.empty, set.universe
-    # ...) are symbolic, so disequality between them must not be decided.
-    return not constant.qualifier or is_finite_field(constant.sort)
+    # distinct values, as do the ``@``-qualified abstract constants the
+    # theory layer mints for uninterpreted-sort model values; other
+    # qualified constants (seq.empty, set.universe ...) are symbolic, so
+    # disequality between them must not be decided.
+    return (
+        not constant.qualifier
+        or is_finite_field(constant.sort)
+        or constant.qualifier.startswith("@")
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -387,31 +393,79 @@ def fold_apply(
 
 
 # ---------------------------------------------------------------------------
+# Uninterpreted-function interpretations.
+# ---------------------------------------------------------------------------
+
+
+class FunctionInterpretation:
+    """A finite function graph plus a default: the model shape for an
+    uninterpreted function.
+
+    ``entries`` maps argument tuples (of interned :class:`Constant` nodes,
+    so lookup is a dict hit) to result constants; every other argument
+    tuple maps to ``default``.  The graph-plus-default shape is total and
+    trivially congruence-respecting, which is exactly what model
+    validation over EUF needs.
+    """
+
+    __slots__ = ("entries", "default")
+
+    def __init__(
+        self,
+        entries: Mapping[tuple[Constant, ...], Constant],
+        default: Constant,
+    ) -> None:
+        self.entries: dict[tuple[Constant, ...], Constant] = dict(entries)
+        self.default = default
+
+    def __call__(self, args: tuple[Constant, ...]) -> Constant:
+        return self.entries.get(args, self.default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FunctionInterpretation({len(self.entries)} entries, "
+            f"default={self.default!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
 # The ground evaluator.
 # ---------------------------------------------------------------------------
 
 
-def evaluate(term: Term, bindings: Optional[Mapping[str, Constant]] = None) -> Constant:
+def evaluate(
+    term: Term,
+    bindings: Optional[Mapping[str, Constant]] = None,
+    funs: Optional[Mapping[str, FunctionInterpretation]] = None,
+) -> Constant:
     """Reduce a closed term to a literal :class:`Constant`.
 
     ``bindings`` maps free symbol names to constants (their sorts must match
-    the symbol occurrences).  ``and``/``or``/``ite`` evaluate lazily in
-    argument order, mirroring the logic's short-circuit identities.  Raises
+    the symbol occurrences); ``funs`` maps uninterpreted function names to
+    :class:`FunctionInterpretation` objects, extending evaluation over EUF
+    models.  ``and``/``or``/``ite`` evaluate lazily in argument order,
+    mirroring the logic's short-circuit identities.  Raises
     :class:`~repro.errors.EvaluationError` for quantified terms, uncovered
     free symbols, or unfoldable applications.
     """
     env: dict[str, Constant] = dict(bindings or {})
-    return _evaluate(term, env)
+    return _evaluate(term, env, dict(funs) if funs else None)
 
 
 def evaluate_value(
-    term: Term, bindings: Optional[Mapping[str, Constant]] = None
+    term: Term,
+    bindings: Optional[Mapping[str, Constant]] = None,
+    funs: Optional[Mapping[str, FunctionInterpretation]] = None,
 ) -> ConstantValue:
     """Like :func:`evaluate` but return the Python value of the result."""
-    return evaluate(term, bindings).value
+    return evaluate(term, bindings, funs).value
 
 
-def _evaluate(term: Term, env: dict[str, Constant]) -> Constant:
+def _evaluate(
+    term: Term,
+    env: dict[str, Constant],
+    funs: Optional[dict[str, FunctionInterpretation]],
+) -> Constant:
     if isinstance(term, Constant):
         return term
     if isinstance(term, Symbol):
@@ -426,24 +480,28 @@ def _evaluate(term: Term, env: dict[str, Constant]) -> Constant:
     if isinstance(term, Apply):
         op = term.op
         if op == "ite":
-            condition = _evaluate(term.args[0], env)
-            return _evaluate(term.args[1] if condition.value else term.args[2], env)
+            condition = _evaluate(term.args[0], env, funs)
+            return _evaluate(term.args[1] if condition.value else term.args[2], env, funs)
         if op == "and":
             for arg in term.args:
-                if not _evaluate(arg, env).value:
+                if not _evaluate(arg, env, funs).value:
                     return FALSE
             return TRUE
         if op == "or":
             for arg in term.args:
-                if _evaluate(arg, env).value:
+                if _evaluate(arg, env, funs).value:
                     return TRUE
             return FALSE
         # Plain loop, not a genexpr: keeps deep chains linear on CPython
         # 3.11+ (a genexpr re-enters the C interpreter at every level).
         evaluated = []
         for arg in term.args:
-            evaluated.append(_evaluate(arg, env))
+            evaluated.append(_evaluate(arg, env, funs))
         args = tuple(evaluated)
+        if funs is not None and not term.indices:
+            interpretation = funs.get(op)
+            if interpretation is not None:
+                return interpretation(args)
         folded = fold_apply(op, term.indices, args, term.sort)
         if folded is None:
             raise EvaluationError(f"cannot evaluate application of {op!r}")
@@ -454,10 +512,10 @@ def _evaluate(term: Term, env: dict[str, Constant]) -> Constant:
         # let chains evaluate in linear time.
         values = []
         for name, value in term.bindings:
-            values.append((name, _evaluate(value, env)))
+            values.append((name, _evaluate(value, env, funs)))
         saved = push_scope(env, values)
         try:
-            return _evaluate(term.body, env)
+            return _evaluate(term.body, env, funs)
         finally:
             pop_scope(env, saved)
     if isinstance(term, Quantifier):
@@ -471,4 +529,5 @@ __all__ = [
     "evaluate_value",
     "euclidean_div",
     "euclidean_mod",
+    "FunctionInterpretation",
 ]

@@ -1,0 +1,27 @@
+"""The pluggable theory layer of the DPLL(T) engine.
+
+* :mod:`repro.theory.core` — the :class:`Theory` interface every plugin
+  implements (``assert_literal`` / ``check`` / ``explain``-via-conflicts /
+  ``push`` / ``pop`` / ``model``), the :class:`TheoryConflict` explanation
+  shape, and the :class:`SortValueAllocator` that mints pairwise-distinct
+  model values per sort.
+* :mod:`repro.theory.euf` — the first plugin: congruence closure over the
+  hash-consed DAG (union-find with a proof forest, congruence table keyed
+  on interned children, disequality and distinguished-constant tracking),
+  deciding QF_UF with checkable models and minimal-ish explanations.
+
+The SAT core (:mod:`repro.sat`) knows nothing about terms and theories;
+the engine (:mod:`repro.engine`) adapts a :class:`Theory` into a
+:class:`repro.sat.TheoryHook` by mapping trail literals back to atoms.
+"""
+
+from .core import SortValueAllocator, Theory, TheoryConflict, TheoryModel
+from .euf import EufTheory
+
+__all__ = [
+    "Theory",
+    "TheoryConflict",
+    "TheoryModel",
+    "SortValueAllocator",
+    "EufTheory",
+]

@@ -1,0 +1,193 @@
+"""The pluggable theory interface of the DPLL(T) engine.
+
+A :class:`Theory` decides conjunctions of *theory literals* — atoms the
+boolean skeleton abstracts away, asserted positively or negatively as the
+SAT trail grows.  The engine drives a theory through five operations:
+
+* :meth:`~Theory.owns_atom` — static classification: does this atom belong
+  to the theory's fragment?  Atoms nobody owns stay abstract and make a
+  propositionally satisfiable answer ``unknown``.
+* :meth:`~Theory.assert_literal` — add one literal to the asserted set.
+  Theories process eagerly: an inconsistency is reported immediately as a
+  :class:`TheoryConflict` naming the responsible literal subset (the
+  *explanation*, which the engine turns into a blocking clause for the
+  SAT solver).
+* :meth:`~Theory.check` — final consistency verdict over everything
+  currently asserted; called at full propositional assignments.
+* :meth:`~Theory.push` / :meth:`~Theory.pop` — checkpoint/rollback of the
+  asserted set, called in lockstep with the SAT trail so backtracking
+  never rebuilds theory state from scratch.
+* :meth:`~Theory.model` — after a consistent final check: concrete values
+  for the theory's symbols and interpretations for its uninterpreted
+  functions, buildable into a script-level model.
+
+The contract mirrors the lazy-SMT architecture of Z3/cvc5-style engines:
+the SAT core enumerates boolean skeletons, theories veto them with
+explanations, and the exchange of lemmas converges on a theory-consistent
+model or propositional unsatisfiability.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional
+
+from ..smtlib.evaluate import FunctionInterpretation
+from ..smtlib.sorts import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    Sort,
+    is_bitvec,
+    is_finite_field,
+)
+from ..smtlib.terms import (
+    Constant,
+    Term,
+    bitvec_const,
+    ff_const,
+    int_const,
+    qualified_constant,
+)
+
+
+@dataclass(frozen=True)
+class TheoryConflict:
+    """An inconsistent subset of the asserted literals.
+
+    ``literals`` are ``(atom, positive)`` pairs whose conjunction the
+    theory refutes; the engine negates them into a blocking clause.  Every
+    listed literal must currently be asserted — the explanation is a
+    subset, ideally small, of the asserted set.
+    """
+
+    literals: tuple[tuple[Term, bool], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "literals", tuple(self.literals))
+
+
+@dataclass
+class TheoryModel:
+    """Concrete theory assignment: symbol values plus interpretations for
+    uninterpreted functions, in the shapes :mod:`repro.smtlib.evaluate`
+    consumes directly."""
+
+    values: dict[str, Constant] = field(default_factory=dict)
+    functions: dict[str, FunctionInterpretation] = field(default_factory=dict)
+
+
+class Theory(ABC):
+    """Abstract base of theory plugins (see the module docstring).
+
+    Implementations keep ``stats`` (plain counters, merged into the
+    engine's per-``check-sat`` statistics under a ``<name>_`` prefix) and
+    must make :meth:`pop` restore *exactly* the state at the matching
+    :meth:`push`, including any recorded conflict.
+    """
+
+    #: Short lowercase identifier, used to prefix statistics keys.
+    name: str = "theory"
+
+    def __init__(self) -> None:
+        self.stats: dict[str, int] = {}
+
+    @abstractmethod
+    def owns_atom(self, atom: Term) -> bool:
+        """True when the theory decides ``atom`` (asserted either way)."""
+
+    @abstractmethod
+    def assert_literal(self, atom: Term, positive: bool) -> Optional[TheoryConflict]:
+        """Assert one literal; report an inconsistency immediately."""
+
+    @abstractmethod
+    def check(self) -> Optional[TheoryConflict]:
+        """Final verdict over the full asserted set (``None`` = consistent)."""
+
+    @abstractmethod
+    def push(self) -> None:
+        """Checkpoint the current asserted state."""
+
+    @abstractmethod
+    def pop(self, levels: int = 1) -> None:
+        """Roll back to the state ``levels`` checkpoints ago."""
+
+    @abstractmethod
+    def model(self, allocator: "SortValueAllocator") -> Optional[TheoryModel]:
+        """Concrete values after a consistent :meth:`check`; ``None`` when
+        the theory cannot realize one (e.g. a finite sort ran out of
+        distinct values)."""
+
+
+class SortValueAllocator:
+    """Mints pairwise-distinct constants per sort for model construction.
+
+    Theories pin the constants their constraints already mention via
+    :meth:`reserve`; :meth:`fresh` then returns values distinct from every
+    reserved *and* previously minted constant of that sort.  Uninterpreted
+    sorts get ``@``-qualified abstract constants — the evaluator treats
+    the ``@`` qualifier as a distinguished model value, so ``=`` and
+    ``distinct`` fold over them.  Finite sorts (``BitVec``, finite
+    fields) can exhaust; :meth:`fresh` then returns ``None`` and the
+    caller falls back to ``unknown``.
+    """
+
+    def __init__(self) -> None:
+        self._used: dict[Sort, set] = {}
+        self._next: dict[Sort, int] = {}
+
+    def reserve(self, constant: Constant) -> None:
+        """Pin an existing constant so no fresh value collides with it."""
+        self._used.setdefault(constant.sort, set()).add(constant.value)
+
+    def fresh(self, sort: Sort) -> Optional[Constant]:
+        """A constant of ``sort`` distinct from all reserved/minted ones."""
+        used = self._used.setdefault(sort, set())
+        counter = self._next.get(sort, 0)
+        if sort == BOOL:
+            return None  # booleans belong to the SAT core, not the theories
+        if is_bitvec(sort) or is_finite_field(sort):
+            capacity = (1 << sort.width) if is_bitvec(sort) else sort.width
+            while counter < capacity and counter in used:
+                counter += 1
+            if counter >= capacity:
+                return None
+            self._next[sort] = counter + 1
+            used.add(counter)
+            if is_finite_field(sort):
+                return ff_const(counter, sort.width)
+            return bitvec_const(counter, sort.width)
+        if sort == INT:
+            while counter in used:
+                counter += 1
+            self._next[sort] = counter + 1
+            used.add(counter)
+            return int_const(counter)
+        if sort == REAL:
+            while Fraction(counter) in used:
+                counter += 1
+            self._next[sort] = counter + 1
+            used.add(Fraction(counter))
+            return Constant(Fraction(counter), REAL)
+        if sort == STRING:
+            value = f"@{counter}"
+            while value in used:
+                counter += 1
+                value = f"@{counter}"
+            self._next[sort] = counter + 1
+            used.add(value)
+            return Constant(value, STRING)
+        # Uninterpreted (or otherwise unvalued) sort: abstract constants.
+        self._next[sort] = counter + 1
+        return qualified_constant(f"@{sort.name}!{counter}", sort)
+
+
+__all__ = [
+    "Theory",
+    "TheoryConflict",
+    "TheoryModel",
+    "SortValueAllocator",
+]

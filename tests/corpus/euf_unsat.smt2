@@ -1,0 +1,12 @@
+; EUF: the classic orbit argument.  f^3(x) = x and f^5(x) = x force
+; f(x) = x by congruence (gcd(3, 5) = 1), contradicting the disequality.
+(set-logic QF_UF)
+(set-info :status unsat)
+(declare-sort U 0)
+(declare-const x U)
+(declare-fun f (U) U)
+(assert (= (f (f (f x))) x))
+(assert (= (f (f (f (f (f x))))) x))
+(assert (not (= (f x) x)))
+(check-sat)
+(exit)

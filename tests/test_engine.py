@@ -44,10 +44,12 @@ CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.smt2"))
 
 
 def assert_model_satisfies(result: CheckSatResult) -> None:
-    """The model-checking oracle: the model evaluates every assertion true."""
+    """The model-checking oracle: the model evaluates every assertion true
+    (uninterpreted functions evaluate through the result's
+    interpretations)."""
     assert result.model is not None
     for term in result.assertions:
-        assert evaluate(term, result.model) is TRUE, term
+        assert evaluate(term, result.model, result.fun_interps) is TRUE, term
 
 
 def boolean_frees(result: CheckSatResult):
@@ -244,9 +246,9 @@ class TestAnswers:
         assert result.answer == "unknown"
         assert result.reason == "abstracted-atoms"
 
-    def test_vacuous_integer_symbol_is_conservative_unknown(self):
-        # (= x x) folds to true, but an evaluable model would need x: the
-        # engine stays conservative instead of answering sat.
+    def test_vacuous_integer_symbol_gets_a_model_value(self):
+        # (= x x) folds to true; since PR 4 the theory layer mints a
+        # concrete value for x, so the answer is a validated sat.
         result = solve_script(
             """
             (declare-const x Int)
@@ -254,8 +256,9 @@ class TestAnswers:
             (check-sat)
             """
         )[0]
-        assert result.answer == "unknown"
-        assert result.reason == "non-boolean-symbols"
+        assert result.answer == "sat"
+        assert result.model is not None and "x" in result.model
+        assert_model_satisfies(result)
 
     def test_conflict_limit_reports_unknown(self):
         # Pigeonhole as a boolean skeleton: 4 pigeons, 3 holes.
@@ -380,7 +383,9 @@ class TestModelQueries:
         assert result.output[0] == "sat"
         assert result.output[1] == "(((and p q) false) ((or p q) true) (p true))"
 
-    def test_get_value_of_non_boolean_term_errors(self):
+    def test_get_value_of_integer_terms_uses_model_values(self):
+        # Since PR 4 every declared constant gets a model value, so
+        # arbitrary ground terms evaluate under the model.
         result = run_script(
             """
             (declare-const x Int)
@@ -388,6 +393,19 @@ class TestModelQueries:
             (assert p)
             (check-sat)
             (get-value ((+ x 1)))
+            """
+        )
+        assert result.output[0] == "sat"
+        assert result.output[1] == "(((+ x 1) 1))"
+
+    def test_get_value_of_unfoldable_term_errors(self):
+        result = run_script(
+            """
+            (declare-const a (Array Int Int))
+            (declare-const p Bool)
+            (assert p)
+            (check-sat)
+            (get-value ((select a 0)))
             """
         )
         assert result.output[0] == "sat"
