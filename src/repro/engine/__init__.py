@@ -4,7 +4,7 @@ The engine layer is split by responsibility:
 
 * :mod:`repro.engine.context` — assertion-stack :class:`Frame` bookkeeping
   and term preparation (``define-fun`` inlining, ``let`` expansion,
-  n-ary equality expansion).
+  n-ary equality expansion, arithmetic equality/chain splitting).
 * :mod:`repro.engine.atoms` — the persistent atom ↔ SAT-variable
   registry wrapping one long-lived Tseitin encoder, so unchanged
   assertions are never re-encoded across ``check-sat`` calls.

@@ -15,6 +15,11 @@ Preparation is the term-level pipeline that runs **before** encoding:
    non-boolean terms into conjunctions of *binary* equalities (negated
    for ``distinct``), so the theory layer only ever sees binary equality
    atoms.  Boolean ``=``/``distinct`` are CNF connectives and stay as-is.
+4. :func:`expand_arithmetic` — split pure-linear ``=`` into
+   ``<=``/``>=`` bound pairs (NNF turns their negation into a
+   disjunction of strict inequalities, so the SAT core case-splits
+   disequalities for the convex simplex) and chained comparisons into
+   binary conjunctions.
 
 ``define-fun`` expansion substitutes by name and is not capture-avoiding
 against quantifiers inside definition bodies; the engine targets
@@ -23,10 +28,11 @@ quantifier-free skeletons, where no capture can occur.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
+from ..smtlib.linarith import difference_form
 from ..smtlib.script import DefineFun, FunSignature
-from ..smtlib.sorts import BOOL, Sort
+from ..smtlib.sorts import BOOL, INT, REAL, Sort
 from ..smtlib.terms import (
     Apply,
     Constant,
@@ -168,16 +174,15 @@ def expand_lets(term: Term, memo: dict[Term, Term]) -> Term:
 # ---------------------------------------------------------------------------
 
 
-def expand_equalities(term: Term, memo: dict[Term, Term]) -> Term:
-    """Rewrite n-ary ``=``/``distinct`` over non-boolean arguments into
-    boolean structure over *binary* equalities.
-
-    ``(= a b c)`` becomes ``(and (= a b) (= b c))``; ``(distinct a b c)``
-    becomes the conjunction of ``(not (= x y))`` over all pairs; binary
-    ``distinct`` becomes a single negated equality.  Logically equivalent
-    in every theory, and it normalizes the atom vocabulary so the EUF
-    plugin only handles binary equalities.
-    """
+def _expand_bottom_up(
+    term: Term,
+    memo: dict[Term, Term],
+    rewrite_apply: Callable[[Apply, tuple[Term, ...]], Term],
+) -> Term:
+    """The memoized bottom-up traversal shared by the expansion passes:
+    children rewrite first, then ``rewrite_apply`` sees each ``Apply``
+    node with its rewritten arguments; ``Quantifier``/``Let`` rebuild
+    with structure sharing (unchanged nodes return ``is``-identical)."""
     cached = memo.get(term)
     if cached is not None:
         return cached
@@ -186,38 +191,17 @@ def expand_equalities(term: Term, memo: dict[Term, Term]) -> Term:
     elif isinstance(term, Apply):
         rewritten = []
         for arg in term.args:
-            rewritten.append(expand_equalities(arg, memo))
-        args = tuple(rewritten)
-        if (
-            term.op in ("=", "distinct")
-            and args
-            and args[0].sort != BOOL
-            and (len(args) > 2 or term.op == "distinct")
-        ):
-            if term.op == "=":
-                parts = [
-                    Apply("=", (left, right), BOOL)
-                    for left, right in zip(args, args[1:])
-                ]
-            else:
-                parts = [
-                    negate(Apply("=", (args[i], args[j]), BOOL))
-                    for i in range(len(args))
-                    for j in range(i + 1, len(args))
-                ]
-            result = parts[0] if len(parts) == 1 else Apply("and", tuple(parts), BOOL)
-        elif args == term.args:
-            result = term
-        else:
-            result = Apply(term.op, args, term.sort, term.indices)
+            rewritten.append(_expand_bottom_up(arg, memo, rewrite_apply))
+        result = rewrite_apply(term, tuple(rewritten))
     elif isinstance(term, Quantifier):
-        body = expand_equalities(term.body, memo)
+        body = _expand_bottom_up(term.body, memo, rewrite_apply)
         result = term if body is term.body else Quantifier(term.kind, term.bindings, body)
     elif isinstance(term, Let):
         bindings = tuple(
-            (name, expand_equalities(value, memo)) for name, value in term.bindings
+            (name, _expand_bottom_up(value, memo, rewrite_apply))
+            for name, value in term.bindings
         )
-        body = expand_equalities(term.body, memo)
+        body = _expand_bottom_up(term.body, memo, rewrite_apply)
         if body is term.body and all(
             new is old for (_, new), (_, old) in zip(bindings, term.bindings)
         ):
@@ -230,9 +214,90 @@ def expand_equalities(term: Term, memo: dict[Term, Term]) -> Term:
     return result
 
 
+def _rebuild(term: Apply, args: tuple[Term, ...]) -> Term:
+    return term if args == term.args else Apply(term.op, args, term.sort, term.indices)
+
+
+def expand_arithmetic(term: Term, memo: dict[Term, Term]) -> Term:
+    """Normalize arithmetic atoms for the simplex theory.
+
+    * A binary ``=`` whose difference is linear over Int/Real symbols
+      becomes ``(and (<= a b) (>= a b))`` — asserted positively the two
+      bounds pin the value, and under negation NNF turns the conjunction
+      into a disjunction of *strict* inequalities, letting the SAT core
+      case-split disequalities so the (convex) simplex never sees them.
+      Equalities that are not linear (uninterpreted applications,
+      ``div``/``mod`` ...) are left for EUF.
+    * A chained comparison ``(< a b c)`` becomes the conjunction of its
+      adjacent binary pairs, so the theory's atom vocabulary is binary
+      only (mirroring what :func:`expand_equalities` does for ``=``).
+
+    Runs after :func:`expand_equalities` (which reduces n-ary ``=`` and
+    ``distinct`` to binary equalities first).
+    """
+    return _expand_bottom_up(term, memo, _arithmetic_rule)
+
+
+def _arithmetic_rule(term: Apply, args: tuple[Term, ...]) -> Term:
+    if (
+        term.op == "="
+        and len(args) == 2
+        and args[0].sort in (INT, REAL)
+        and difference_form(args[0], args[1]) is not None
+    ):
+        return Apply(
+            "and",
+            (Apply("<=", args, BOOL), Apply(">=", args, BOOL)),
+            BOOL,
+        )
+    if term.op in ("<", "<=", ">", ">=") and len(args) > 2:
+        pairs = tuple(
+            Apply(term.op, (left, right), BOOL)
+            for left, right in zip(args, args[1:])
+        )
+        return Apply("and", pairs, BOOL)
+    return _rebuild(term, args)
+
+
+def expand_equalities(term: Term, memo: dict[Term, Term]) -> Term:
+    """Rewrite n-ary ``=``/``distinct`` over non-boolean arguments into
+    boolean structure over *binary* equalities.
+
+    ``(= a b c)`` becomes ``(and (= a b) (= b c))``; ``(distinct a b c)``
+    becomes the conjunction of ``(not (= x y))`` over all pairs; binary
+    ``distinct`` becomes a single negated equality.  Logically equivalent
+    in every theory, and it normalizes the atom vocabulary so the EUF
+    plugin only handles binary equalities.
+    """
+    return _expand_bottom_up(term, memo, _equality_rule)
+
+
+def _equality_rule(term: Apply, args: tuple[Term, ...]) -> Term:
+    if (
+        term.op in ("=", "distinct")
+        and args
+        and args[0].sort != BOOL
+        and (len(args) > 2 or term.op == "distinct")
+    ):
+        if term.op == "=":
+            parts = [
+                Apply("=", (left, right), BOOL)
+                for left, right in zip(args, args[1:])
+            ]
+        else:
+            parts = [
+                negate(Apply("=", (args[i], args[j]), BOOL))
+                for i in range(len(args))
+                for j in range(i + 1, len(args))
+            ]
+        return parts[0] if len(parts) == 1 else Apply("and", tuple(parts), BOOL)
+    return _rebuild(term, args)
+
+
 __all__ = [
     "Frame",
     "inline_definitions",
     "expand_lets",
     "expand_equalities",
+    "expand_arithmetic",
 ]

@@ -22,8 +22,9 @@ class CheckSatResult:
     ``reason`` explains an ``unknown`` answer.  ``stats`` carries
     per-check solver counters, CNF shape (``vars``, ``clauses``,
     ``atoms``), incremental-encoding counters (``tseitin_new_vars``,
-    ``tseitin_new_clauses``, ``encoded_assertions``) and theory counters
-    (``euf_*``).  ``expected`` records the script's
+    ``tseitin_new_clauses``, ``encoded_assertions``) and per-plugin
+    theory counters (``euf_*``: merges, conflicts ...; ``arith_*``:
+    pivots, branches ...).  ``expected`` records the script's
     ``(set-info :status ...)`` annotation, when present.
     """
 

@@ -14,8 +14,10 @@ the whole run:
   ``check-sat`` after ``push``/``pop`` re-encodes **nothing** for
   unchanged assertions (the ``tseitin_new_vars`` statistic is 0).
 * Theory reasoning is layered in through :class:`repro.sat.TheoryHook`:
-  the hook keeps an :class:`~repro.theory.EufTheory` synchronized with
-  the SAT trail via per-literal checkpoints (``push`` on assert,
+  the hook keeps a :class:`~repro.theory.TheoryComposite` — linear
+  arithmetic (:class:`~repro.theory.ArithTheory`) routed ahead of
+  congruence closure (:class:`~repro.theory.EufTheory`) — synchronized
+  with the SAT trail via per-literal checkpoints (``push`` on assert,
   ``pop`` on backtrack) and translates theory conflicts into blocking
   clauses over the atom variables.
 
@@ -26,15 +28,16 @@ Answer semantics stay *sound*:
   over-approximation), so propositional unsatisfiability implies real
   unsatisfiability.
 * ``sat`` — only when every atom of the live assertions is either a
-  boolean symbol (decided by the SAT core) or owned by EUF, *and* the
-  assembled model — boolean values, congruence-class values and
-  uninterpreted-function graphs — makes
+  boolean symbol (decided by the SAT core) or owned by a theory plugin,
+  *and* the assembled model — boolean values, rational/integer simplex
+  values, congruence-class values and uninterpreted-function graphs —
+  makes
   :func:`~repro.smtlib.evaluate.evaluate` return ``true`` on every live
   assertion.  The validation runs inside the engine; a model that cannot
   be built or checked demotes the answer to ``unknown``.
 * anything else — ``unknown`` with a reason (``abstracted-atoms``,
-  ``conflict-limit``, ``model-construction-failed``,
-  ``model-validation-failed``).
+  ``conflict-limit``, ``branch-budget-exhausted``,
+  ``model-construction-failed``, ``model-validation-failed``).
 """
 
 from __future__ import annotations
@@ -71,9 +74,21 @@ from ..smtlib.script import (
 from ..smtlib.simplify import simplify, to_nnf
 from ..smtlib.sorts import BOOL, Sort
 from ..smtlib.terms import FALSE, TRUE, Constant, Symbol, Term, bool_const
-from ..theory import EufTheory, SortValueAllocator, Theory
+from ..theory import (
+    ArithTheory,
+    EufTheory,
+    SortValueAllocator,
+    Theory,
+    TheoryComposite,
+)
 from .atoms import AtomRegistry
-from .context import Frame, expand_equalities, expand_lets, inline_definitions
+from .context import (
+    Frame,
+    expand_arithmetic,
+    expand_equalities,
+    expand_lets,
+    inline_definitions,
+)
 from .result import CheckSatResult, ScriptResult
 
 
@@ -251,12 +266,14 @@ class Engine:
         inline_memo: dict[tuple[Term, frozenset[str]], Term] = {}
         let_memo: dict[Term, Term] = {}
         eq_memo: dict[Term, Term] = {}
+        arith_memo: dict[Term, Term] = {}
         for frame in self._frames:
             while len(frame.prepared) < len(frame.assertions):
                 term = frame.assertions[len(frame.prepared)]
                 term = inline_definitions(term, definitions, frozenset(), inline_memo)
                 term = expand_lets(term, let_memo)
                 term = expand_equalities(term, eq_memo)
+                term = expand_arithmetic(term, arith_memo)
                 frame.prepared.append(term)
                 frame.simplified.append(simplify(term))
 
@@ -334,7 +351,12 @@ class Engine:
         uninterpreted = frozenset(
             name for frame in self._frames for name in frame.funs
         )
-        theory: Optional[Theory] = EufTheory(uninterpreted=uninterpreted)
+        # Theory dispatch: arithmetic first (numeric comparisons are
+        # never uninterpreted structure), then congruence closure; the
+        # composite routes each atom to the first plugin owning it.
+        theory: Optional[Theory] = TheoryComposite(
+            (ArithTheory(), EufTheory(uninterpreted=uninterpreted))
+        )
         owned: list[Term] = []
         unowned: list[Term] = []
         for atom in active_atoms:
@@ -376,8 +398,9 @@ class Engine:
             learned_db=self._solver.num_learnts,
         )
         if theory is not None:
-            for key, value in theory.stats.items():
-                stats[f"euf_{key}"] = value
+            # The composite prefixes every counter with its plugin's name
+            # (``euf_merges``, ``arith_pivots`` ...).
+            stats.update(theory.stats)
 
         def outcome(
             kind: str,
@@ -438,9 +461,25 @@ class Engine:
         if theory is not None:
             theory_model = theory.model(allocator)
             if theory_model is None:
-                return None, {}, "model-construction-failed"
+                reason = theory.incomplete_reason() or "model-construction-failed"
+                return None, {}, reason
             model.update(theory_model.values)
             fun_interps = theory_model.functions
+        # A declared function whose every occurrence simplified away (a
+        # trivial atom such as (= (f a) (f a))) never reaches the theory,
+        # yet validation evaluates the *prepared* assertions, which still
+        # apply it: give it an unconstrained default interpretation.
+        for frame in self._frames:
+            for name, signature in frame.funs.items():
+                if name in fun_interps:
+                    continue
+                if signature.result == BOOL:
+                    default: Optional[Constant] = FALSE
+                else:
+                    default = allocator.fresh(signature.result)
+                    if default is None:
+                        return None, {}, "model-construction-failed"
+                fun_interps[name] = FunctionInterpretation({}, default)
         free: dict[str, Sort] = {}
         for frame in self._frames:
             for term in frame.prepared:

@@ -19,6 +19,7 @@ skeletonizer, reducer, oracle) program against.
 from .cnf import CnfFormula, TseitinEncoder, is_connective, skeleton_atoms, tseitin
 from .evaluate import FunctionInterpretation, evaluate, evaluate_value, fold_apply
 from .lexer import RESERVED_WORDS, Token, TokenKind, is_simple_symbol, iter_tokens, tokenize
+from .linarith import LinearForm, difference_form, linear_form
 from .parser import parse_command, parse_script, parse_sort, parse_term
 from .simplify import simplify, simplify_script, to_nnf
 from .printer import (
@@ -176,6 +177,10 @@ __all__ = [
     "check_script",
     "is_builtin_operator",
     "well_sorted",
+    # linarith
+    "LinearForm",
+    "linear_form",
+    "difference_form",
     # simplify
     "simplify",
     "simplify_script",

@@ -48,6 +48,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from .evaluate import fold_apply
+from .linarith import is_numeric_term, linear_form
 from .script import Script
 from .sorts import BOOL, INT, STRING, Sort, bitvec_sort
 from .terms import (
@@ -345,6 +346,20 @@ def _rule_implies(node: Apply) -> Term:
     return Apply("=>", tuple(premises) + (args[-1],), BOOL)
 
 
+def _linear_forms(args: tuple[Term, ...]):
+    """``linear_form`` of each argument, computed once per argument (a
+    pairwise ``difference_form`` would re-walk every term n-1 times)."""
+    return [linear_form(arg) for arg in args]
+
+
+def _forms_difference(left, right):
+    """The rational value of ``left - right`` for two linear forms whose
+    variables cancel exactly, else ``None``."""
+    if left is None or right is None or left[0] != right[0]:
+        return None
+    return left[1] - right[1]
+
+
 def _rule_eq(node: Apply) -> Term:
     args = node.args
     if all(a is args[0] for a in args[1:]):
@@ -355,6 +370,21 @@ def _rule_eq(node: Apply) -> Term:
                 return other
             if value is FALSE:
                 return Apply("not", (other,), BOOL)
+    if is_numeric_term(args[0]):
+        # Linear normalization: fold when adjacent differences are ground
+        # (adjacent equalities chain, so one non-zero difference refutes
+        # the whole atom and all-zero differences prove it).
+        forms = _linear_forms(args)
+        ground = 0
+        for left, right in zip(forms, forms[1:]):
+            difference = _forms_difference(left, right)
+            if difference is None:
+                continue
+            if difference != 0:
+                return FALSE
+            ground += 1
+        if ground == len(args) - 1:
+            return TRUE
     return node
 
 
@@ -370,6 +400,19 @@ def _rule_distinct(node: Apply) -> Term:
                 return Apply("not", (other,), BOOL)
             if value is FALSE:
                 return other
+    if is_numeric_term(args[0]):
+        forms = _linear_forms(args)
+        ground = 0
+        for i in range(len(args)):
+            for j in range(i + 1, len(args)):
+                difference = _forms_difference(forms[i], forms[j])
+                if difference is None:
+                    continue
+                if difference == 0:
+                    return FALSE
+                ground += 1
+        if ground == len(args) * (len(args) - 1) // 2:
+            return TRUE
     return node
 
 
@@ -494,9 +537,32 @@ _REFLEXIVE_COMPARE = {
 }
 
 
+_COMPARE_VERDICT: dict[str, Callable[[object], bool]] = {
+    "<": lambda d: d < 0,  # type: ignore[operator]
+    "<=": lambda d: d <= 0,  # type: ignore[operator]
+    ">": lambda d: d > 0,  # type: ignore[operator]
+    ">=": lambda d: d >= 0,  # type: ignore[operator]
+}
+
+
 def _rule_compare(node: Apply) -> Term:
     if all(a is node.args[0] for a in node.args[1:]):
         return bool_const(_REFLEXIVE_COMPARE[node.op])
+    verdict = _COMPARE_VERDICT.get(node.op)
+    if verdict is not None and is_numeric_term(node.args[0]):
+        # A chained comparison is the conjunction of its adjacent pairs:
+        # one decisively-false pair refutes the atom, all-true proves it.
+        forms = _linear_forms(node.args)
+        ground = 0
+        for left, right in zip(forms, forms[1:]):
+            difference = _forms_difference(left, right)
+            if difference is None:
+                continue
+            if not verdict(difference):
+                return FALSE
+            ground += 1
+        if ground == len(node.args) - 1:
+            return TRUE
     return node
 
 

@@ -9,19 +9,38 @@
   hash-consed DAG (union-find with a proof forest, congruence table keyed
   on interned children, disequality and distinguished-constant tracking),
   deciding QF_UF with checkable models and minimal-ish explanations.
+* :mod:`repro.theory.arith` — the second plugin: linear rational/integer
+  arithmetic (QF_LRA/QF_LIA) by Dutertre–de Moura dual simplex over
+  δ-rationals, with Bland's-rule pivoting, minimal bound-clash and row
+  explanations, and budgeted branch-and-bound for integer solutions.
+* :class:`~repro.theory.core.TheoryComposite` — the dispatcher: routes
+  each atom to the first plugin owning it (arithmetic before EUF),
+  forwards checkpoints to all plugins in lockstep, and merges their
+  models/statistics, so the engine keeps talking to exactly one
+  :class:`Theory`.
 
 The SAT core (:mod:`repro.sat`) knows nothing about terms and theories;
 the engine (:mod:`repro.engine`) adapts a :class:`Theory` into a
 :class:`repro.sat.TheoryHook` by mapping trail literals back to atoms.
 """
 
-from .core import SortValueAllocator, Theory, TheoryConflict, TheoryModel
+from .arith import ArithTheory, DeltaRational
+from .core import (
+    SortValueAllocator,
+    Theory,
+    TheoryComposite,
+    TheoryConflict,
+    TheoryModel,
+)
 from .euf import EufTheory
 
 __all__ = [
     "Theory",
     "TheoryConflict",
     "TheoryModel",
+    "TheoryComposite",
     "SortValueAllocator",
     "EufTheory",
+    "ArithTheory",
+    "DeltaRational",
 ]

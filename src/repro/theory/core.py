@@ -32,7 +32,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..smtlib.evaluate import FunctionInterpretation
 from ..smtlib.sorts import (
@@ -121,6 +121,119 @@ class Theory(ABC):
         the theory cannot realize one (e.g. a finite sort ran out of
         distinct values)."""
 
+    def incomplete_reason(self) -> Optional[str]:
+        """Why the last :meth:`check` was incomplete (an exhausted search
+        budget, say) — the engine reports it as the ``unknown`` reason
+        when :meth:`model` returns ``None``.  Default: ``None`` (the
+        theory is complete for its fragment)."""
+        return None
+
+
+class TheoryComposite(Theory):
+    """Routes atoms among several theory plugins (first owner wins).
+
+    The engine talks to *one* :class:`Theory`; the composite fans the
+    interface out to an ordered plugin list:
+
+    * **Routing** — an atom is decided by the first plugin whose
+      ``owns_atom`` accepts it; the choice is cached so every later
+      ``assert_literal`` is a dictionary hit.  The plugin order is the
+      priority order (arithmetic before EUF, so numeric comparisons are
+      never mistaken for uninterpreted structure).
+    * **Checkpoints** — ``push``/``pop`` forward to every plugin, so the
+      per-literal trail synchronization stays exact regardless of which
+      plugin an individual literal went to.
+    * **Conflicts** — the first plugin reporting a conflict wins; its
+      explanation is already a subset of the asserted literals, so the
+      engine can ship it unchanged.
+    * **Models** — plugin models merge in priority order (earlier
+      plugins' values win), sharing one
+      :class:`SortValueAllocator` so values minted by different plugins
+      stay pairwise distinct per sort.  Any plugin failing to produce a
+      model fails the composite.
+    * **Statistics** — merged with a ``<plugin-name>_`` prefix per key.
+    """
+
+    name = "multi"
+
+    def __init__(self, plugins: Sequence[Theory]) -> None:
+        self._plugins = tuple(plugins)
+        self._route: dict[Term, Optional[Theory]] = {}
+
+    @property
+    def plugins(self) -> tuple[Theory, ...]:
+        return self._plugins
+
+    @property
+    def stats(self) -> dict[str, int]:  # type: ignore[override]
+        merged: dict[str, int] = {}
+        for plugin in self._plugins:
+            for key, value in plugin.stats.items():
+                merged[f"{plugin.name}_{key}"] = value
+        return merged
+
+    @stats.setter
+    def stats(self, value: dict[str, int]) -> None:
+        raise AttributeError("composite statistics are derived, not assignable")
+
+    def owner(self, atom: Term) -> Optional[Theory]:
+        """The plugin that decides ``atom``, or ``None`` (cached)."""
+        cached = self._route.get(atom, _UNROUTED)
+        if cached is not _UNROUTED:
+            return cached  # type: ignore[return-value]
+        owner: Optional[Theory] = None
+        for plugin in self._plugins:
+            if plugin.owns_atom(atom):
+                owner = plugin
+                break
+        self._route[atom] = owner
+        return owner
+
+    def owns_atom(self, atom: Term) -> bool:
+        return self.owner(atom) is not None
+
+    def assert_literal(self, atom: Term, positive: bool) -> Optional[TheoryConflict]:
+        owner = self.owner(atom)
+        assert owner is not None, f"no plugin owns asserted atom: {atom!r}"
+        return owner.assert_literal(atom, positive)
+
+    def check(self) -> Optional[TheoryConflict]:
+        for plugin in self._plugins:
+            conflict = plugin.check()
+            if conflict is not None:
+                return conflict
+        return None
+
+    def push(self) -> None:
+        for plugin in self._plugins:
+            plugin.push()
+
+    def pop(self, levels: int = 1) -> None:
+        for plugin in self._plugins:
+            plugin.pop(levels)
+
+    def model(self, allocator: "SortValueAllocator") -> Optional[TheoryModel]:
+        merged = TheoryModel()
+        for plugin in self._plugins:
+            partial = plugin.model(allocator)
+            if partial is None:
+                return None
+            for key, value in partial.values.items():
+                merged.values.setdefault(key, value)
+            for key, interpretation in partial.functions.items():
+                merged.functions.setdefault(key, interpretation)
+        return merged
+
+    def incomplete_reason(self) -> Optional[str]:
+        for plugin in self._plugins:
+            reason = plugin.incomplete_reason()
+            if reason is not None:
+                return reason
+        return None
+
+
+_UNROUTED = object()
+
 
 class SortValueAllocator:
     """Mints pairwise-distinct constants per sort for model construction.
@@ -189,5 +302,6 @@ __all__ = [
     "Theory",
     "TheoryConflict",
     "TheoryModel",
+    "TheoryComposite",
     "SortValueAllocator",
 ]

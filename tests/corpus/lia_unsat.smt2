@@ -1,0 +1,12 @@
+; Linear integer arithmetic, unsatisfiable: 2x = 2y + 1 has no integer
+; solution (parity) — integer bound tightening refutes it without
+; search — and the boxed slice 4 < 2z < 6 needs the branch-free
+; tightening of strict bounds to the empty integer interval.
+(set-logic QF_LIA)
+(set-info :status unsat)
+(declare-const x Int)
+(declare-const y Int)
+(declare-const z Int)
+(assert (or (= (* 2 x) (+ (* 2 y) 1)) (and (< (* 2 z) 6) (> (* 2 z) 4))))
+(check-sat)
+(exit)

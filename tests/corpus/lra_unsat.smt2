@@ -1,0 +1,13 @@
+; Linear rational arithmetic, unsatisfiable: x > 1 and x - y < 0 force
+; y > 1, so x + y < 2 is impossible; the disjunction makes the SAT core
+; case-split before each arm is refuted by a simplex explanation.
+(set-logic QF_LRA)
+(set-info :status unsat)
+(declare-const x Real)
+(declare-const y Real)
+(assert (< (+ x y) 2.0))
+(assert (< (- x y) 0.0))
+(assert (> x 1.0))
+(assert (or (<= y 1.0) (<= x 1.0)))
+(check-sat)
+(exit)

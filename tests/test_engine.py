@@ -211,6 +211,22 @@ class TestAnswers:
         assert_model_satisfies(result)
 
     def test_theory_atoms_give_unknown_not_sat(self):
+        # ``div`` is outside the linear fragment, so the atom stays
+        # abstract — a propositionally satisfiable skeleton must answer
+        # unknown, never sat.
+        result = solve_script(
+            """
+            (declare-const x Int)
+            (assert (< (div x 2) 0))
+            (check-sat)
+            """
+        )[0]
+        assert result.answer == "unknown"
+        assert result.reason == "abstracted-atoms"
+
+    def test_linear_atoms_now_decided(self):
+        # The same shape over the *linear* fragment is decided by the
+        # simplex plugin (this was unknown before the arith theory).
         result = solve_script(
             """
             (declare-const x Int)
@@ -218,8 +234,8 @@ class TestAnswers:
             (check-sat)
             """
         )[0]
-        assert result.answer == "unknown"
-        assert result.reason == "abstracted-atoms"
+        assert result.answer == "sat"
+        assert_model_satisfies(result)
 
     def test_propositionally_inconsistent_theory_is_unsat(self):
         result = solve_script(

@@ -67,6 +67,55 @@ def test_real_arithmetic_is_exact():
     assert ev("((_ divisible 3) 9)") is True
 
 
+class TestEuclideanEdgeCases:
+    """Dedicated regression coverage for the negative-divisor corners of
+    SMT-LIB ``div``/``mod`` (Euclidean semantics: the remainder is
+    always in ``[0, |divisor|)``, whatever the signs)."""
+
+    @pytest.mark.parametrize(
+        "dividend,divisor",
+        [
+            (a, b)
+            for a in (-13, -7, -3, -1, 0, 1, 3, 7, 13)
+            for b in (-9, -5, -2, -1, 1, 2, 5, 9)
+        ],
+    )
+    def test_division_identity_and_remainder_range(self, dividend, divisor):
+        def lit(value):
+            return str(value) if value >= 0 else f"(- {-value})"
+
+        quotient = ev(f"(div {lit(dividend)} {lit(divisor)})")
+        remainder = ev(f"(mod {lit(dividend)} {lit(divisor)})")
+        # The defining identity and the Euclidean remainder range.
+        assert dividend == divisor * quotient + remainder
+        assert 0 <= remainder < abs(divisor)
+
+    def test_negative_divisor_spot_values(self):
+        # div rounds *toward* making the remainder non-negative: for a
+        # negative divisor the quotient rounds up.
+        assert ev("(div 1 (- 2))") == 0 and ev("(mod 1 (- 2))") == 1
+        assert ev("(div (- 1) (- 2))") == 1 and ev("(mod (- 1) (- 2))") == 1
+        assert ev("(div 6 (- 3))") == -2 and ev("(mod 6 (- 3))") == 0
+        assert ev("(div (- 6) (- 3))") == 2 and ev("(mod (- 6) (- 3))") == 0
+        assert ev("(div 5 (- 3))") == -1 and ev("(mod 5 (- 3))") == 2
+        assert ev("(div (- 5) (- 3))") == 2 and ev("(mod (- 5) (- 3))") == 1
+
+    def test_unit_divisors(self):
+        assert ev("(div (- 7) 1)") == -7 and ev("(mod (- 7) 1)") == 0
+        assert ev("(div (- 7) (- 1))") == 7 and ev("(mod (- 7) (- 1))") == 0
+
+    def test_chained_div_folds_left(self):
+        # (div a b c) is ((a div b) div c), Euclidean at every step.
+        assert ev("(div (- 100) 7 (- 3))") == 5  # -100 div 7 = -15; -15 div -3 = 5
+        assert ev("(div (- 100) (- 7) 3)") == 5  # -100 div -7 = 15; 15 div 3 = 5
+
+    def test_simplifier_agrees_on_negative_divisors(self):
+        # The simplifier folds through the same operator table.
+        for text in ["(div (- 7) (- 2))", "(mod (- 7) (- 2))", "(mod 7 (- 2))"]:
+            term = parse_term(text)
+            assert simplify(term) is evaluate(term)
+
+
 def test_division_by_zero_is_unspecified():
     with pytest.raises(EvaluationError):
         ev("(div 1 0)")

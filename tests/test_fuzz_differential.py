@@ -1,0 +1,263 @@
+"""Differential fuzzing gauntlet: engine vs brute-force oracles.
+
+A seeded generator produces random scripts in three fragments —
+QF_LIA, QF_LRA and QF_UF — whose variables are *boxed* (explicit range
+assertions), so a brute-force oracle is exact:
+
+* **QF_LIA** — three Int variables in ``[-B, B]``: exhaustive
+  enumeration of all ``(2B+1)³`` assignments decides the script, and
+  the engine's verdict must match exactly, both directions.
+* **QF_LRA** — two Real variables in ``[-B, B]``: a quarter-step grid
+  under-approximates satisfiability, so a grid model refutes an
+  ``unsat`` verdict; every ``sat`` verdict is checked by re-evaluating
+  the engine's own model externally.
+* **QF_UF** — two constants and a unary function with ground terms
+  ``{a, b, f(a), f(b)}``: the finite-model property bounds satisfying
+  domains by the number of ground terms (4), so enumerating all
+  assignments and function tables over domains of size 1..4 is an
+  exact oracle.
+
+Every case additionally round-trips through the printer —
+``parse(print(script))`` must re-solve to the same verdict — and every
+``sat`` answer must come with a model that the (engine-independent)
+evaluator accepts on every assertion.
+
+The sample is a fixed, deterministic 300 cases (seeded per-case), so CI
+runs the same gauntlet every time; crank ``CASES`` up locally to hunt.
+"""
+
+from fractions import Fraction
+from itertools import product
+from random import Random
+
+import pytest
+
+from repro import solve_script
+from repro.smtlib import parse_script, script_to_smtlib
+from repro.smtlib.evaluate import FunctionInterpretation, evaluate
+from repro.smtlib.script import Assert, CheckSat, DeclareConst, DeclareFun, DeclareSort, Script, SetLogic
+from repro.smtlib.sorts import BOOL, INT, REAL, uninterpreted_sort
+from repro.smtlib.terms import (
+    TRUE,
+    Apply,
+    Constant,
+    Symbol,
+    Term,
+    int_const,
+    qualified_constant,
+)
+
+#: Per-fragment deterministic case counts: 120 + 100 + 80 = 300 in CI.
+CASES = {"lia": 120, "lra": 100, "uf": 80}
+
+#: Box half-width for the numeric fragments.
+BOX = 4
+
+U = uninterpreted_sort("U")
+
+
+# ---------------------------------------------------------------------------
+# Generators.
+# ---------------------------------------------------------------------------
+
+
+def real_const(value) -> Constant:
+    return Constant(Fraction(value), REAL)
+
+
+def _numeric_atom(rng: Random, variables: list[Symbol], sort) -> Term:
+    """A random linear atom  Σ cᵢxᵢ ▷ k  over the given variables."""
+    const = int_const if sort == INT else real_const
+    chosen = rng.sample(variables, rng.randint(1, len(variables)))
+    parts: list[Term] = []
+    for symbol in chosen:
+        coeff = rng.choice([-3, -2, -1, 1, 2, 3])
+        if coeff == 1:
+            parts.append(symbol)
+        else:
+            parts.append(Apply("*", (const(coeff), symbol), sort))
+    lhs: Term = parts[0] if len(parts) == 1 else Apply("+", tuple(parts), sort)
+    rhs: Term = const(rng.randint(-6, 6))
+    op = rng.choice(["<", "<=", ">", ">=", "=", "distinct"])
+    return Apply(op, (lhs, rhs), BOOL)
+
+
+def _uf_atom(rng: Random, terms: list[Term]) -> Term:
+    lhs, rhs = rng.choice(terms), rng.choice(terms)
+    return Apply("=", (lhs, rhs), BOOL)
+
+
+def _formula(rng: Random, depth: int, make_atom) -> Term:
+    if depth <= 0 or rng.random() < 0.35:
+        return make_atom()
+    op = rng.choice(["and", "or", "not", "=>", "ite", "xor"])
+    if op == "not":
+        return Apply("not", (_formula(rng, depth - 1, make_atom),), BOOL)
+    if op == "ite":
+        args = tuple(_formula(rng, depth - 1, make_atom) for _ in range(3))
+        return Apply("ite", args, BOOL)
+    width = rng.randint(2, 3)
+    args = tuple(_formula(rng, depth - 1, make_atom) for _ in range(width))
+    return Apply(op, args, BOOL)
+
+
+def generate_numeric(seed: int, sort) -> tuple[Script, list[Symbol]]:
+    rng = Random(seed)
+    names = ["x", "y", "z"] if sort == INT else ["u", "v"]
+    variables = [Symbol(name, sort) for name in names]
+    const = int_const if sort == INT else real_const
+    commands: list = [SetLogic("QF_LIA" if sort == INT else "QF_LRA")]
+    for symbol in variables:
+        commands.append(DeclareConst(symbol.name, sort))
+        commands.append(Assert(Apply("<=", (const(-BOX), symbol), BOOL)))
+        commands.append(Assert(Apply("<=", (symbol, const(BOX)), BOOL)))
+    for _ in range(rng.randint(1, 3)):
+        commands.append(
+            Assert(_formula(rng, 3, lambda: _numeric_atom(rng, variables, sort)))
+        )
+    commands.append(CheckSat())
+    return Script(tuple(commands)), variables
+
+
+def generate_uf(seed: int) -> tuple[Script, list[Term]]:
+    rng = Random(seed)
+    a, b = Symbol("a", U), Symbol("b", U)
+    terms: list[Term] = [a, b, Apply("f", (a,), U), Apply("f", (b,), U)]
+    commands: list = [
+        SetLogic("QF_UF"),
+        DeclareSort("U", 0),
+        DeclareConst("a", U),
+        DeclareConst("b", U),
+        DeclareFun("f", (U,), U),
+    ]
+    for _ in range(rng.randint(2, 5)):
+        commands.append(Assert(_formula(rng, 2, lambda: _uf_atom(rng, terms))))
+    commands.append(CheckSat())
+    return Script(tuple(commands)), terms
+
+
+# ---------------------------------------------------------------------------
+# Oracles.
+# ---------------------------------------------------------------------------
+
+
+def _holds(assertions, bindings, funs=None) -> bool:
+    for term in assertions:
+        if evaluate(term, bindings, funs) is not TRUE:
+            return False
+    return True
+
+
+def oracle_lia(script: Script, variables: list[Symbol]) -> bool:
+    """Exact satisfiability by exhausting the (boxed) integer space."""
+    assertions = script.assertions()
+    names = [symbol.name for symbol in variables]
+    for point in product(range(-BOX, BOX + 1), repeat=len(names)):
+        bindings = {name: int_const(value) for name, value in zip(names, point)}
+        if _holds(assertions, bindings):
+            return True
+    return False
+
+
+def oracle_lra_grid(script: Script, variables: list[Symbol]) -> bool:
+    """Satisfiability *under-approximation*: a quarter-step grid.  A hit
+    proves sat; a miss proves nothing (vertices can be off-grid)."""
+    assertions = script.assertions()
+    names = [symbol.name for symbol in variables]
+    steps = [Fraction(k, 4) for k in range(-4 * BOX, 4 * BOX + 1)]
+    for point in product(steps, repeat=len(names)):
+        bindings = {
+            name: Constant(value, REAL) for name, value in zip(names, point)
+        }
+        if _holds(assertions, bindings):
+            return True
+    return False
+
+
+def oracle_uf(script: Script, ground_terms: list[Term]) -> bool:
+    """Exact satisfiability via the finite-model property: enumerate all
+    models over domains of size 1..len(ground_terms)."""
+    assertions = script.assertions()
+    limit = len(ground_terms)
+    for size in range(1, limit + 1):
+        universe = [qualified_constant(f"@U!{i}", U) for i in range(size)]
+        for a_value, b_value in product(universe, repeat=2):
+            bindings = {"a": a_value, "b": b_value}
+            for table in product(universe, repeat=size):
+                funs = {
+                    "f": FunctionInterpretation(
+                        {(element,): image for element, image in zip(universe, table)},
+                        universe[0],
+                    )
+                }
+                if _holds(assertions, bindings, funs):
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The differential harness.
+# ---------------------------------------------------------------------------
+
+
+def engine_verdict(script: Script) -> tuple[str, object]:
+    results = solve_script(script)
+    assert len(results) == 1
+    return results[0].answer, results[0]
+
+
+def assert_model_validates(result) -> None:
+    assert result.model is not None, "sat answer must carry a model"
+    for term in result.assertions:
+        value = evaluate(term, result.model, result.fun_interps)
+        assert value is TRUE, f"model fails assertion {term}"
+
+
+def assert_roundtrip_agrees(script: Script, answer: str) -> None:
+    reparsed = parse_script(script_to_smtlib(script))
+    again, _ = engine_verdict(reparsed)
+    assert again == answer, f"parse(print(s)) re-solve flipped {answer} -> {again}"
+
+
+@pytest.mark.parametrize("seed", range(CASES["lia"]))
+def test_differential_lia(seed):
+    script, variables = generate_numeric(7919 * seed + 1, INT)
+    answer, result = engine_verdict(script)
+    assert answer in ("sat", "unsat"), (
+        f"engine answered {answer} ({result.reason}) on a boxed QF_LIA script"
+    )
+    expected = "sat" if oracle_lia(script, variables) else "unsat"
+    assert answer == expected, f"engine {answer} but exhaustive oracle {expected}"
+    if answer == "sat":
+        assert_model_validates(result)
+    assert_roundtrip_agrees(script, answer)
+
+
+@pytest.mark.parametrize("seed", range(CASES["lra"]))
+def test_differential_lra(seed):
+    script, variables = generate_numeric(7919 * seed + 2, REAL)
+    answer, result = engine_verdict(script)
+    assert answer in ("sat", "unsat"), (
+        f"engine answered {answer} ({result.reason}) on a boxed QF_LRA script"
+    )
+    if answer == "sat":
+        assert_model_validates(result)
+    else:
+        assert not oracle_lra_grid(script, variables), (
+            "engine unsat but the grid oracle found a rational model"
+        )
+    assert_roundtrip_agrees(script, answer)
+
+
+@pytest.mark.parametrize("seed", range(CASES["uf"]))
+def test_differential_uf(seed):
+    script, ground_terms = generate_uf(7919 * seed + 3)
+    answer, result = engine_verdict(script)
+    assert answer in ("sat", "unsat"), (
+        f"engine answered {answer} ({result.reason}) on a QF_UF script"
+    )
+    expected = "sat" if oracle_uf(script, ground_terms) else "unsat"
+    assert answer == expected, f"engine {answer} but finite-model oracle {expected}"
+    if answer == "sat":
+        assert_model_validates(result)
+    assert_roundtrip_agrees(script, answer)

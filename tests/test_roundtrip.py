@@ -1,18 +1,35 @@
 """Corpus round-trip tests: the tentpole acceptance law.
 
 For every bundled corpus script ``s``: ``parse(print(parse(text)))`` is a
-fixpoint, and the type checker accepts every term in it.
+fixpoint, the type checker accepts every term in it, and the engine's
+answers never contradict the ``(set-info :status ...)`` annotations —
+with the propositional/EUF/arithmetic scripts required to answer their
+annotated status *exactly* (no ``unknown`` cop-out).
 """
 
 from pathlib import Path
 
 import pytest
 
+from repro import run_script
 from repro.smtlib import check_script, parse_script, script_to_smtlib
 
 CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.smt2"))
 
 assert CORPUS, "bundled corpus is missing"
+
+#: Scripts inside the fragments the engine decides outright: every
+#: check-sat must answer its annotation, not just avoid contradicting it.
+DECIDED = {
+    "prop_sat",
+    "prop_unsat",
+    "euf_sat",
+    "euf_unsat",
+    "lra_sat",
+    "lra_unsat",
+    "lia_sat",
+    "lia_unsat",
+}
 
 
 @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
@@ -35,3 +52,25 @@ def test_typecheck_accepts_corpus(path):
 def test_corpus_exercises_commands(path):
     script = parse_script(path.read_text())
     assert len(script.assertions()) >= 1
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_engine_matches_status(path):
+    """Soundness over the whole corpus: a definite answer never
+    contradicts the script's ``:status`` annotation; completeness over
+    the decided fragments: the annotation is answered exactly."""
+    result = run_script(path.read_text())
+    assert result.status_mismatches == [], (
+        f"{path.stem}: answers {result.answers} contradict :status"
+    )
+    if path.stem in DECIDED:
+        for index, check in enumerate(result.check_results):
+            assert check.answer in ("sat", "unsat"), (
+                f"{path.stem}: check-sat #{index} answered {check.answer} "
+                f"(reason={check.reason}) in a decided fragment"
+            )
+            if check.expected is not None:
+                assert check.answer == check.expected, (
+                    f"{path.stem}: check-sat #{index} answered {check.answer},"
+                    f" annotated {check.expected}"
+                )
