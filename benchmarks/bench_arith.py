@@ -45,6 +45,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."
 sys.setrecursionlimit(1_000_000)
 
 from repro import Engine  # noqa: E402
+from repro.obs import Observability, phase_seconds  # noqa: E402
 from repro.smtlib import (  # noqa: E402
     BOOL,
     INT,
@@ -174,7 +175,8 @@ def diamond_lra_commands(layers, window):
 
 
 def run_workload(name, n, commands, expected, verify):
-    engine = Engine()
+    obs = Observability.tracing()
+    engine = Engine(obs=obs)
     t0 = time.perf_counter()
     result = engine.run(Script(tuple(commands)))
     elapsed = time.perf_counter() - t0
@@ -197,6 +199,8 @@ def run_workload(name, n, commands, expected, verify):
         "answer": ",".join(answers),
         "solver": totals,
         "seconds": {"solve": round(elapsed, 6)},
+        "phases": phase_seconds(obs.tracer),
+        "metrics": engine.metrics.snapshot(),
     }
 
 

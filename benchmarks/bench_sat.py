@@ -36,6 +36,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 sys.setrecursionlimit(1_000_000)
 
+from repro.obs import MetricsRegistry, Tracer, phase_seconds  # noqa: E402
 from repro.sat import Solver  # noqa: E402
 from repro.smtlib import (  # noqa: E402
     BOOL,
@@ -110,34 +111,49 @@ def xor_chain_terms(length: int, satisfiable: bool):
 # ---------------------------------------------------------------------------
 
 
+def _solver_metrics(solver: Solver) -> dict[str, int]:
+    """The solver counters through the unified registry namespace."""
+    registry = MetricsRegistry()
+    registry.register_source("sat", lambda: solver.stats)
+    return registry.snapshot()
+
+
 def run_clause_workload(name: str, n: int, clauses: list[list[int]], expected, verify):
     num_vars = max(abs(lit) for clause in clauses for lit in clause)
     solver = Solver(num_vars)
+    tracer = Tracer()
     t0 = time.perf_counter()
-    solver.add_clauses(clauses)
+    with tracer.span("encode"):
+        solver.add_clauses(clauses)
     encode_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    answer = solver.solve()
+    with tracer.span("solve"):
+        answer = solver.solve()
     solve_s = time.perf_counter() - t0
     if verify and expected is not None:
         assert answer == expected, (name, answer, expected)
     if verify and answer == "sat":
         model = solver.model
         assert all(any((lit > 0) == model[abs(lit)] for lit in c) for c in clauses), name
-    return _row(name, n, num_vars, len(clauses), answer, solver, encode_s, solve_s)
+    return _row(
+        name, n, num_vars, len(clauses), answer, solver, encode_s, solve_s, tracer
+    )
 
 
 def run_term_workload(name: str, n: int, assertions, expected, verify):
+    tracer = Tracer()
     t0 = time.perf_counter()
-    encoder = TseitinEncoder()
-    for term in assertions:
-        encoder.assert_term(to_nnf(term))
-    formula = encoder.formula
-    solver = Solver(formula.num_vars)
-    solver.add_clauses(formula.clauses)
+    with tracer.span("encode"):
+        encoder = TseitinEncoder()
+        for term in assertions:
+            encoder.assert_term(to_nnf(term))
+        formula = encoder.formula
+        solver = Solver(formula.num_vars)
+        solver.add_clauses(formula.clauses)
     encode_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    answer = solver.solve()
+    with tracer.span("solve"):
+        answer = solver.solve()
     solve_s = time.perf_counter() - t0
     if verify and expected is not None:
         assert answer == expected, (name, answer, expected)
@@ -147,10 +163,20 @@ def run_term_workload(name: str, n: int, assertions, expected, verify):
         model = solver.model
         env = {atom.name: bool_const(model[var]) for atom, var in formula.atom_vars.items()}
         assert all(evaluate(term, env) is TRUE for term in assertions), name
-    return _row(name, n, formula.num_vars, len(formula.clauses), answer, solver, encode_s, solve_s)
+    return _row(
+        name,
+        n,
+        formula.num_vars,
+        len(formula.clauses),
+        answer,
+        solver,
+        encode_s,
+        solve_s,
+        tracer,
+    )
 
 
-def _row(name, n, num_vars, num_clauses, answer, solver, encode_s, solve_s):
+def _row(name, n, num_vars, num_clauses, answer, solver, encode_s, solve_s, tracer):
     return {
         "workload": name,
         "n": n,
@@ -161,6 +187,8 @@ def _row(name, n, num_vars, num_clauses, answer, solver, encode_s, solve_s):
             for key in ("conflicts", "decisions", "propagations", "restarts", "learned")
         },
         "seconds": {"encode": round(encode_s, 6), "solve": round(solve_s, 6)},
+        "phases": phase_seconds(tracer),
+        "metrics": _solver_metrics(solver),
     }
 
 
@@ -170,15 +198,19 @@ def run_random_3sat(n: int, verify: bool):
     total_encode = total_solve = 0.0
     answers = []
     stats = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0, "learned": 0}
+    metrics: dict[str, int] = {}
     num_vars = num_clauses = 0
+    tracer = Tracer()
     for seed in RANDOM_3SAT_SEEDS:
         clauses = random_3sat_clauses(n, seed)
         solver = Solver(n)
         t0 = time.perf_counter()
-        solver.add_clauses(clauses)
+        with tracer.span("encode", merge=True):
+            solver.add_clauses(clauses)
         total_encode += time.perf_counter() - t0
         t0 = time.perf_counter()
-        answer = solver.solve()
+        with tracer.span("solve", merge=True):
+            answer = solver.solve()
         total_solve += time.perf_counter() - t0
         answers.append(answer)
         if verify and answer == "sat":
@@ -186,6 +218,8 @@ def run_random_3sat(n: int, verify: bool):
             assert all(any((lit > 0) == model[abs(lit)] for lit in c) for c in clauses)
         for key in stats:
             stats[key] += solver.stats[key]
+        for key, value in _solver_metrics(solver).items():
+            metrics[key] = metrics.get(key, 0) + value
         num_vars, num_clauses = n, len(clauses)
     return {
         "workload": "random_3sat",
@@ -194,6 +228,8 @@ def run_random_3sat(n: int, verify: bool):
         "answer": ",".join(answers),
         "solver": stats,
         "seconds": {"encode": round(total_encode, 6), "solve": round(total_solve, 6)},
+        "phases": phase_seconds(tracer),
+        "metrics": metrics,
     }
 
 

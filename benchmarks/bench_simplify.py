@@ -33,6 +33,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
 sys.setrecursionlimit(1_000_000)
 
+from repro.obs import MetricsRegistry, Tracer, phase_seconds  # noqa: E402
 from repro.smtlib import (  # noqa: E402
     BOOL,
     INT,
@@ -161,11 +162,20 @@ WORKLOADS = {
 }
 
 
+def _intern_metrics() -> dict[str, int]:
+    """The intern-table counters through the unified registry namespace."""
+    registry = MetricsRegistry()
+    registry.register_source("intern", intern_stats, gauges=("live",))
+    return registry.snapshot()
+
+
 def run_workload(name: str, n: int, verify: bool) -> dict:
     build_fn = WORKLOADS[name][0]
+    tracer = Tracer()
     reset_intern_stats()
     t0 = time.perf_counter()
-    term = build_fn(n)
+    with tracer.span("build"):
+        term = build_fn(n)
     build_s = time.perf_counter() - t0
     stats = intern_stats()
     hit_rate = stats["hits"] / max(1, stats["hits"] + stats["misses"])
@@ -176,7 +186,8 @@ def run_workload(name: str, n: int, verify: bool) -> dict:
     tree_before = term.size() if name != "shared_doubling" else None
 
     t0 = time.perf_counter()
-    simplified = simplify(term)
+    with tracer.span("simplify"):
+        simplified = simplify(term)
     simplify_s = time.perf_counter() - t0
 
     dag_after = simplified.dag_size()
@@ -185,7 +196,8 @@ def run_workload(name: str, n: int, verify: bool) -> dict:
     evaluate_s = None
     if not term.free_symbols():
         t0 = time.perf_counter()
-        value = evaluate(term)
+        with tracer.span("evaluate"):
+            value = evaluate(term)
         evaluate_s = time.perf_counter() - t0
         assert simplified is value or simplified == value, name
 
@@ -209,6 +221,8 @@ def run_workload(name: str, n: int, verify: bool) -> dict:
             "simplify": round(simplify_s, 6),
             "evaluate": round(evaluate_s, 6) if evaluate_s is not None else None,
         },
+        "phases": phase_seconds(tracer),
+        "metrics": _intern_metrics(),
     }
 
 
@@ -221,10 +235,12 @@ def run_corpus(corpus_dir: str, verify: bool) -> dict:
         if f.endswith(".smt2")
     )
     texts = [Path(p).read_text(encoding="utf-8") for p in paths]
+    tracer = Tracer()
     t0 = time.perf_counter()
-    first = [parse_script(text) for text in texts]
-    reset_intern_stats()
-    second = [parse_script(text) for text in texts]
+    with tracer.span("parse"):
+        first = [parse_script(text) for text in texts]
+        reset_intern_stats()
+        second = [parse_script(text) for text in texts]
     parse_s = time.perf_counter() - t0
     stats = intern_stats()
     for a, b in zip(first, second):
@@ -232,7 +248,8 @@ def run_corpus(corpus_dir: str, verify: bool) -> dict:
             assert ta is tb, "double parse must yield identical object graphs"
 
     t0 = time.perf_counter()
-    simplified = [simplify_script(script) for script in second]
+    with tracer.span("simplify"):
+        simplified = [simplify_script(script) for script in second]
     simplify_s = time.perf_counter() - t0
     if verify:
         for script in simplified:
@@ -250,6 +267,8 @@ def run_corpus(corpus_dir: str, verify: bool) -> dict:
         },
         "intern": {**stats, "hit_rate": round(hit_rate, 4)},
         "seconds": {"build": round(parse_s, 6), "simplify": round(simplify_s, 6), "evaluate": None},
+        "phases": phase_seconds(tracer),
+        "metrics": _intern_metrics(),
     }
 
 

@@ -45,6 +45,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."
 sys.setrecursionlimit(1_000_000)
 
 from repro import Engine  # noqa: E402
+from repro.obs import Observability, phase_seconds  # noqa: E402
 from repro.smtlib import (  # noqa: E402
     BOOL,
     Apply,
@@ -185,7 +186,8 @@ def incremental_workload(length, rounds):
 
 
 def run_script_workload(name, n, commands, expected, verify):
-    engine = Engine()
+    obs = Observability.tracing()
+    engine = Engine(obs=obs)
     t0 = time.perf_counter()
     result = engine.run(Script(tuple(commands)))
     elapsed = time.perf_counter() - t0
@@ -213,14 +215,17 @@ def run_script_workload(name, n, commands, expected, verify):
             "euf_merges": sum(r.stats.get("euf_merges", 0) for r in result.check_results),
         },
         "seconds": {"solve": round(elapsed, 6)},
+        "phases": phase_seconds(obs.tracer),
+        "metrics": engine.metrics.snapshot(),
     }
 
 
 def run_incremental_workload(length, rounds, verify):
     script, flattened, expected = incremental_workload(length, rounds)
 
+    obs = Observability.tracing()
     t0 = time.perf_counter()
-    engine = Engine()
+    engine = Engine(obs=obs)
     incremental_result = engine.run(script)
     incremental_s = time.perf_counter() - t0
 
@@ -269,6 +274,8 @@ def run_incremental_workload(length, rounds, verify):
             "incremental": round(incremental_s, 6),
             "scratch": round(scratch_s, 6),
         },
+        "phases": phase_seconds(obs.tracer),
+        "metrics": engine.metrics.snapshot(),
     }
 
 

@@ -20,6 +20,15 @@ workloads.  Workloads present only on one side are reported but do
 not fail the gate, so adding a benchmark never requires a lockstep
 baseline update.
 
+Besides the wall-clock gate, the script prints an **informational**
+counter-drift report: the deterministic search counters (``solver`` and
+``intern`` blocks of each workload row) are compared against the
+baseline and any counter that moved by more than ``--drift-threshold``×
+(default 1.5×, both sides above a small noise floor) is listed.  Counter
+drift never fails the gate — timings vary with the machine, but counter
+movement on identical inputs means the search *behavior* changed, which
+is exactly what a reviewer wants surfaced next to a timing diff.
+
 Usage::
 
     python benchmarks/check_regression.py [BENCH_simplify.json ...] \
@@ -41,6 +50,48 @@ def workload_seconds(payload: dict) -> dict[str, float]:
         seconds = row.get("seconds", {})
         totals[row["workload"]] = sum(v for v in seconds.values() if v is not None)
     return totals
+
+
+def workload_counters(payload: dict) -> dict[str, dict[str, int]]:
+    """Per-workload deterministic counters: the ``solver`` block plus the
+    integer ``intern`` entries (hit_rate and other floats are derived)."""
+    out: dict[str, dict[str, int]] = {}
+    for row in payload.get("results", []):
+        counters: dict[str, int] = {}
+        for key, value in (row.get("solver") or {}).items():
+            if isinstance(value, int):
+                counters[key] = value
+        for key, value in (row.get("intern") or {}).items():
+            if isinstance(value, int):
+                counters[f"intern.{key}"] = value
+        out[row["workload"]] = counters
+    return out
+
+
+def counter_drift(
+    fresh_path: str,
+    baseline_path: str,
+    drift_threshold: float,
+    min_count: int = 50,
+):
+    """Yield (workload, counter, baseline, fresh, ratio) rows where a
+    counter moved by more than ``drift_threshold``× in either direction.
+    Counters below ``min_count`` on both sides are noise and skipped."""
+    with open(fresh_path, encoding="utf-8") as handle:
+        fresh = workload_counters(json.load(handle))
+    with open(baseline_path, encoding="utf-8") as handle:
+        baseline = workload_counters(json.load(handle))
+    for workload in sorted(fresh.keys() & baseline.keys()):
+        fresh_counters = fresh[workload]
+        baseline_counters = baseline[workload]
+        for key in sorted(fresh_counters.keys() & baseline_counters.keys()):
+            fresh_v = fresh_counters[key]
+            base_v = baseline_counters[key]
+            if max(fresh_v, base_v) < min_count:
+                continue
+            ratio = (fresh_v + 1) / (base_v + 1)
+            if ratio > drift_threshold or ratio < 1 / drift_threshold:
+                yield workload, key, base_v, fresh_v, ratio
 
 
 def compare(fresh_path: str, baseline_path: str, threshold: float, floor: float):
@@ -84,6 +135,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.05,
         help="clamp timings below this many seconds before comparing",
     )
+    parser.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=1.5,
+        help="report (never fail on) counters that moved by this factor",
+    )
     args = parser.parse_args(argv)
 
     failures: list[str] = []
@@ -126,6 +183,20 @@ def main(argv: list[str] | None = None) -> int:
             )
             if regressed:
                 failures.append(f"{os.path.basename(fresh_path)}:{workload} ({ratio:.2f}x)")
+        drifts = list(
+            counter_drift(fresh_path, baseline_path, args.drift_threshold)
+        )
+        if drifts:
+            print(
+                f"counter drift beyond {args.drift_threshold}x "
+                "(informational, never gates):"
+            )
+            for workload, key, base_v, fresh_v, ratio in drifts:
+                print(f"  ~ {workload}.{key}: {base_v} -> {fresh_v} ({ratio:.2f}x)")
+        else:
+            print(
+                f"counter drift: none beyond {args.drift_threshold}x (informational)"
+            )
         print()
     if failures:
         print(f"FAIL: {len(failures)} workload(s) regressed beyond {args.threshold}x:")

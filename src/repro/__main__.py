@@ -7,31 +7,60 @@ block per ``(get-model)`` and a value list per ``(get-value ...)``.
 
 When a script carries a ``(set-info :status sat|unsat)`` annotation, every
 computed answer is compared against it; a contradiction prints a warning
-to stderr, and with ``--strict-status`` also fails the run.  ``--stats``
-prints the per-``check-sat`` solver counters (conflicts, propagations,
-restarts, theory lemmas, Tseitin reuse ...) as comment lines, and
-``--dimacs PATH`` dumps the final solver CNF — gates, frame-selector
-guards, level-0 facts and theory lemmas — in DIMACS format (with several
-inputs, ``PATH.<index>`` per file).
+to stderr, and with ``--strict-status`` also fails the run.
+
+Observability flags:
+
+* ``--stats`` prints the per-``check-sat`` solver counters (conflicts,
+  propagations, restarts, theory lemmas, Tseitin reuse ...) as comment
+  lines.
+* ``--stats-json`` replaces the normal solver output with **one** JSON
+  document covering every input file — per-check legacy ``stats``,
+  namespaced ``metrics`` deltas, per-phase nanoseconds and a final
+  whole-run registry snapshot — so the output pipes straight into
+  ``python -m json.tool`` or ``jq``.  Warnings and ``--profile`` tables
+  move to stderr.
+* ``--trace FILE`` streams the structured search-event log (decisions,
+  conflicts/learns with LBD, restarts, theory lemmas/conflicts with
+  plugin provenance, push/pop, unknown reasons) as JSONL to ``FILE``,
+  one shared bounded log across all inputs with a ``script`` event per
+  file.
+* ``--profile`` records hierarchical phase spans (parse → prepare →
+  encode → search → theory-check → model/validate) and prints a
+  per-file timing table as comment lines.
+* ``--dimacs PATH`` dumps the final solver CNF — gates, frame-selector
+  guards, level-0 facts and theory lemmas — in DIMACS format (with
+  several inputs, ``PATH.<index>`` per file).
 
 Exit status: 0 on success, 1 when any file failed to read, parse or
 type-check, 2 when ``--strict-status`` found a contradicted annotation.
 
 Usage::
 
-    python -m repro file.smt2 [more.smt2 ...] [--stats] [--conflict-limit N]
+    python -m repro file.smt2 [more.smt2 ...] [--stats] [--stats-json]
+                    [--trace FILE] [--profile] [--conflict-limit N]
                     [--dimacs PATH] [--strict-status]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Optional
+from typing import Any, Optional
 
 from .engine import Engine
 from .errors import ReproError
+from .obs import (
+    EventLog,
+    Observability,
+    Tracer,
+    format_phase_table,
+    phase_totals,
+    set_current_tracer,
+    trace_span,
+)
 from .smtlib import parse_script
 
 
@@ -54,6 +83,23 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="print per-check-sat solver statistics as comment lines",
     )
     parser.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="print one JSON document (per-check stats, namespaced metrics, "
+        "phase timings) instead of the solver output",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="stream the structured search-event log (JSONL) to FILE",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="record per-phase spans and print a timing table per file",
+    )
+    parser.add_argument(
         "--dimacs",
         metavar="PATH",
         default=None,
@@ -70,41 +116,94 @@ def main(argv: Optional[list[str]] = None) -> int:
     # Every pass is recursive over term depth; generated scripts nest deeply.
     sys.setrecursionlimit(1_000_000)
 
+    events = EventLog(args.trace) if args.trace is not None else None
+    tracing = args.profile or args.stats_json or events is not None
     status = 0
     contradicted = False
-    for index, path in enumerate(args.paths):
-        if len(args.paths) > 1:
-            print(f"; {path}")
-        try:
-            script = parse_script(Path(path).read_text(encoding="utf-8"))
-        except (OSError, ReproError) as exc:
-            print(f'(error "{path}: {exc}")', file=sys.stderr)
-            status = 1
-            continue
-        engine = Engine(conflict_limit=args.conflict_limit)
-        result = engine.run(script)
-        for line in result.output:
-            print(line)
-        for check_index in result.status_mismatches:
-            check = result.check_results[check_index]
-            contradicted = True
-            print(
-                f"; warning: {path}: check-sat #{check_index} answered "
-                f"{check.answer} but :status is {check.expected}",
-                file=sys.stderr,
-            )
-        if args.stats:
-            for check_index, check in enumerate(result.check_results):
-                stats = check.stats
-                detail = ", ".join(f"{key}={stats[key]}" for key in sorted(stats))
-                reason = f" reason={check.reason}" if check.reason else ""
-                print(f"; check-sat #{check_index}: {check.answer}{reason} ({detail})")
-        if args.dimacs is not None:
-            out_path = (
-                args.dimacs if len(args.paths) == 1 else f"{args.dimacs}.{index}"
-            )
-            text = engine.dimacs(comments=[f"final CNF of {path}"])
-            Path(out_path).write_text(text, encoding="utf-8")
+    documents: list[dict[str, Any]] = []
+    try:
+        for index, path in enumerate(args.paths):
+            if len(args.paths) > 1 and not args.stats_json:
+                print(f"; {path}")
+            if events is not None:
+                events.emit("script", path=str(path))
+            tracer = Tracer() if tracing else None
+            previous = set_current_tracer(tracer) if tracer is not None else None
+            try:
+                try:
+                    with trace_span("parse"):
+                        script = parse_script(Path(path).read_text(encoding="utf-8"))
+                except (OSError, ReproError) as exc:
+                    print(f'(error "{path}: {exc}")', file=sys.stderr)
+                    status = 1
+                    continue
+                obs = (
+                    Observability(tracer=tracer, events=events)
+                    if (tracer is not None or events is not None)
+                    else None
+                )
+                engine = Engine(conflict_limit=args.conflict_limit, obs=obs)
+                result = engine.run(script)
+            finally:
+                if tracer is not None:
+                    set_current_tracer(previous)
+            if not args.stats_json:
+                for line in result.output:
+                    print(line)
+            for check_index in result.status_mismatches:
+                check = result.check_results[check_index]
+                contradicted = True
+                print(
+                    f"; warning: {path}: check-sat #{check_index} answered "
+                    f"{check.answer} but :status is {check.expected}",
+                    file=sys.stderr,
+                )
+            if args.stats and not args.stats_json:
+                for check_index, check in enumerate(result.check_results):
+                    stats = check.stats
+                    detail = ", ".join(f"{key}={stats[key]}" for key in sorted(stats))
+                    reason = f" reason={check.reason}" if check.reason else ""
+                    print(f"; check-sat #{check_index}: {check.answer}{reason} ({detail})")
+            if args.profile and tracer is not None:
+                sink = sys.stderr if args.stats_json else sys.stdout
+                print(f"; {path}: phase timings", file=sink)
+                print(format_phase_table(tracer, prefix="; "), file=sink)
+            if args.stats_json:
+                phases = (
+                    {p: row["ns"] for p, row in phase_totals(tracer).items()}
+                    if tracer is not None
+                    else {}
+                )
+                documents.append(
+                    {
+                        "path": str(path),
+                        "answers": result.answers,
+                        "checks": [
+                            {
+                                "answer": check.answer,
+                                "reason": check.reason,
+                                "expected": check.expected,
+                                "stats": check.stats,
+                                "metrics": check.metrics,
+                                "phases": check.phases,
+                            }
+                            for check in result.check_results
+                        ],
+                        "phases": phases,
+                        "metrics": engine.metrics.snapshot(),
+                    }
+                )
+            if args.dimacs is not None:
+                out_path = (
+                    args.dimacs if len(args.paths) == 1 else f"{args.dimacs}.{index}"
+                )
+                text = engine.dimacs(comments=[f"final CNF of {path}"])
+                Path(out_path).write_text(text, encoding="utf-8")
+    finally:
+        if events is not None:
+            events.close()
+    if args.stats_json:
+        print(json.dumps({"files": documents}, indent=2))
     if status == 0 and contradicted and args.strict_status:
         return 2
     return status

@@ -26,6 +26,15 @@ class CheckSatResult:
     theory counters (``euf_*``: merges, conflicts ...; ``arith_*``:
     pivots, branches ...).  ``expected`` records the script's
     ``(set-info :status ...)`` annotation, when present.
+
+    ``metrics`` is the same information through the unified registry: a
+    namespaced per-check snapshot delta (``sat.conflicts``,
+    ``theory.arith.pivots``, ``intern.hits``, ``engine.guard_clauses``
+    ...) — ``stats`` is derived from it and kept for backward
+    compatibility.  ``phases`` carries per-phase wall-clock in
+    nanoseconds keyed by span path (``prepare``, ``search``,
+    ``search/theory-check`` ...) when the engine ran with a tracer, else
+    it is empty.
     """
 
     answer: str
@@ -35,6 +44,8 @@ class CheckSatResult:
     reason: Optional[str] = None
     stats: dict[str, int] = field(default_factory=dict)
     expected: Optional[str] = None
+    metrics: dict[str, int] = field(default_factory=dict)
+    phases: dict[str, int] = field(default_factory=dict)
 
     @property
     def contradicts_expected(self) -> bool:
@@ -50,10 +61,14 @@ class CheckSatResult:
 @dataclass
 class ScriptResult:
     """Everything one script run produced: per-``check-sat`` results and
-    the printable solver output (one entry per output-producing command)."""
+    the printable solver output (one entry per output-producing command).
+    ``phases`` aggregates whole-run per-phase wall-clock (nanoseconds by
+    span path, including ``parse`` when the run went through
+    :func:`~repro.engine.solve.run_script` with tracing on)."""
 
     check_results: list[CheckSatResult] = field(default_factory=list)
     output: list[str] = field(default_factory=list)
+    phases: dict[str, int] = field(default_factory=dict)
 
     @property
     def answers(self) -> list[str]:

@@ -45,6 +45,11 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, Union
 
 from ..errors import EvaluationError, SolverError
+from ..obs import Observability
+from ..obs.events import EventLog
+from ..obs.metrics import MetricsRegistry
+from ..obs.profile import phase_totals
+from ..obs.spans import get_current_tracer, set_current_tracer, trace_span
 from ..sat import SAT, UNKNOWN, UNSAT, Solver, TheoryHook
 from ..sat.dimacs import to_dimacs
 from ..smtlib.cnf import skeleton_atoms
@@ -73,7 +78,15 @@ from ..smtlib.script import (
 )
 from ..smtlib.simplify import simplify, to_nnf
 from ..smtlib.sorts import BOOL, Sort
-from ..smtlib.terms import FALSE, TRUE, Constant, Symbol, Term, bool_const
+from ..smtlib.terms import (
+    FALSE,
+    TRUE,
+    Constant,
+    Symbol,
+    Term,
+    bool_const,
+    intern_stats,
+)
 from ..theory import (
     ArithTheory,
     EufTheory,
@@ -107,13 +120,23 @@ class _TheorySync(TheoryHook):
         theory: Theory,
         var_to_atom: dict[int, Term],
         atom_vars: dict[Term, int],
+        events: Optional[EventLog] = None,
     ) -> None:
         self._theory = theory
         self._var_to_atom = var_to_atom
         self._atom_vars = atom_vars
+        self._events = events
         self._synced: list[int] = []
 
     def on_check(self, solver: Solver, final: bool) -> Iterable[Sequence[int]]:
+        # One merged span per search: the hook fires at every
+        # decision-level fixpoint, so distinct spans would explode.
+        with trace_span("theory-check", merge=True):
+            return self._sync_and_check(solver, final)
+
+    def _sync_and_check(
+        self, solver: Solver, final: bool
+    ) -> Iterable[Sequence[int]]:
         trail = solver.trail
         synced = self._synced
         # The solver's low watermark bounds how far the trail can have
@@ -140,6 +163,12 @@ class _TheorySync(TheoryHook):
         for atom, positive in conflict.literals:
             var = self._atom_vars[atom]
             clause.append(-var if positive else var)
+        if self._events is not None:
+            self._events.emit(
+                "theory-conflict",
+                plugin=conflict.source or self._theory.name,
+                size=len(clause),
+            )
         return (clause,)
 
 
@@ -149,27 +178,72 @@ class Engine:
     ``conflict_limit`` bounds the CDCL search per ``check-sat`` (exhausted
     → ``unknown`` with reason ``conflict-limit``).  ``theory_eager``
     controls whether the theory hook runs at every decision-level
-    fixpoint (the default) or only at full assignments.
+    fixpoint (the default) or only at full assignments.  ``obs`` plugs an
+    :class:`~repro.obs.Observability` bundle in: its metrics registry
+    absorbs the SAT-core, theory-plugin, intern-table and engine counters
+    under one namespace; its tracer (when present) is installed for the
+    duration of :meth:`run` and records per-phase spans; its event log
+    (when present) receives the structured search events.  Without an
+    explicit bundle the engine still keeps a metrics registry (cheap:
+    plain-dict sources, no hot-path indirection) but traces and logs
+    nothing.
     """
 
     def __init__(
         self,
         conflict_limit: Optional[int] = None,
         theory_eager: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._conflict_limit = conflict_limit
         self._theory_eager = theory_eager
+        self._obs = obs if obs is not None else Observability()
         self._reset()
 
     def _reset(self) -> None:
         self._frames: list[Frame] = [Frame()]
         self._solver = Solver()
+        self._solver.events = self._obs.events
         self._registry = AtomRegistry()
         self._clauses_shipped = 0
+        self._guard_clauses = 0
+        self._retired_selectors = 0
+        self._checks_run = 0
         self._last: Optional[CheckSatResult] = None
         self._status: Optional[str] = None
+        metrics = self._obs.metrics
+        metrics.register_source("sat", lambda: self._solver.stats)
+        metrics.register_source("intern", intern_stats, gauges=("live",))
+        metrics.register_source(
+            "engine",
+            self._engine_counters,
+            gauges=("vars", "learned_db", "frames"),
+        )
+
+    def _engine_counters(self) -> dict[str, int]:
+        return {
+            "clauses_shipped": self._clauses_shipped,
+            "guard_clauses": self._guard_clauses,
+            "retired_selectors": self._retired_selectors,
+            "checks": self._checks_run,
+            "vars": self._registry.num_vars,
+            "learned_db": self._solver.num_learnts,
+            "frames": len(self._frames),
+        }
 
     # -- introspection -------------------------------------------------------
+
+    @property
+    def obs(self) -> Observability:
+        """The engine's observability bundle (always present)."""
+        return self._obs
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The unified metrics registry; ``snapshot()`` gives every
+        counter namespaced (``sat.*``, ``theory.*``, ``intern.*``,
+        ``engine.*``)."""
+        return self._obs.metrics
 
     @property
     def solver(self) -> Solver:
@@ -203,10 +277,16 @@ class Engine:
         """Execute every command of ``script`` and collect the results."""
         self._reset()
         result = ScriptResult()
-        for command in script.commands:
-            if isinstance(command, Exit):
-                break
-            self._execute(command, result)
+        tracer = self._obs.tracer
+        previous = set_current_tracer(tracer) if tracer is not None else None
+        try:
+            for command in script.commands:
+                if isinstance(command, Exit):
+                    break
+                self._execute(command, result)
+        finally:
+            if tracer is not None:
+                set_current_tracer(previous)
         return result
 
     def _execute(self, command: Command, result: ScriptResult) -> None:
@@ -224,6 +304,10 @@ class Engine:
         elif isinstance(command, Push):
             for _ in range(command.levels):
                 self._frames.append(Frame())
+            if self._obs.events is not None:
+                self._obs.events.emit(
+                    "push", levels=command.levels, depth=len(self._frames)
+                )
         elif isinstance(command, Pop):
             if command.levels >= len(self._frames):
                 raise SolverError(
@@ -232,8 +316,13 @@ class Engine:
             for frame in self._frames[len(self._frames) - command.levels :]:
                 if frame.selector is not None:
                     # Retire the frame: its guarded clauses become vacuous.
+                    self._retired_selectors += 1
                     self._add_clause((-frame.selector,))
             del self._frames[len(self._frames) - command.levels :]
+            if self._obs.events is not None:
+                self._obs.events.emit(
+                    "pop", levels=command.levels, depth=len(self._frames)
+                )
         elif isinstance(command, DefineFun):
             self._frames[-1].definitions[command.name] = command
         elif isinstance(command, DeclareConst):
@@ -275,14 +364,22 @@ class Engine:
                 term = expand_equalities(term, eq_memo)
                 term = expand_arithmetic(term, arith_memo)
                 frame.prepared.append(term)
-                frame.simplified.append(simplify(term))
+                with trace_span("simplify", merge=True):
+                    frame.simplified.append(simplify(term))
 
     def _encode_frames(self) -> tuple[int, int, int]:
         """Encode assertions added since the last check; returns the
-        ``(new roots, new vars, new clauses)`` statistics triple."""
+        ``(new roots, new vars, new clauses)`` statistics triple.
+
+        ``new clauses`` counts only the drained Tseitin gate clauses —
+        the per-assertion selector guards ``(¬sel ∨ root)`` are engine
+        bookkeeping, tallied separately as ``engine.guard_clauses`` (the
+        pre-registry plumbing folded them into ``tseitin_new_clauses``,
+        overstating the encoder's output by one clause per root).
+        """
         vars_before = self._registry.num_vars
-        shipped_before = self._clauses_shipped
         new_roots = 0
+        new_clauses = 0
         for frame in self._frames:
             if frame.selector is None:
                 frame.selector = self._registry.new_selector()
@@ -300,19 +397,64 @@ class Engine:
                 new_roots += 1
                 for clause in self._registry.drain_clauses():
                     self._add_clause(clause)
+                    new_clauses += 1
+                self._guard_clauses += 1
                 self._add_clause((-frame.selector, root))
         self._solver.ensure_vars(self._registry.num_vars)
-        return (
-            new_roots,
-            self._registry.num_vars - vars_before,
-            self._clauses_shipped - shipped_before,
-        )
+        return (new_roots, self._registry.num_vars - vars_before, new_clauses)
 
     # -- the check-sat pipeline ---------------------------------------------
 
+    @staticmethod
+    def _legacy_stats(delta: dict[str, int]) -> dict[str, int]:
+        """Flatten a namespaced metrics delta into the pre-registry
+        ``CheckSatResult.stats`` key shape: ``sat.X`` → ``X`` and
+        ``theory.<plugin>.X`` → ``<plugin>_X``.  ``intern.*`` and
+        ``engine.*`` are registry-era additions with no legacy alias."""
+        stats: dict[str, int] = {}
+        for key, value in delta.items():
+            if key.startswith("sat."):
+                stats[key[4:]] = value
+            elif key.startswith("theory."):
+                plugin, _, counter = key[7:].partition(".")
+                stats[f"{plugin}_{counter}"] = value
+        return stats
+
     def _check_sat(self) -> CheckSatResult:
+        index = self._checks_run
+        events = self._obs.events
+        if events is not None:
+            events.emit("check-begin", index=index)
+        tracer = get_current_tracer()
+        if tracer is None:
+            check = self._check_sat_inner()
+        else:
+            handle = tracer.span("check-sat")
+            with handle:
+                check = self._check_sat_inner()
+            for path, row in phase_totals([handle.span]).items():
+                if path == "check-sat":
+                    check.phases["total"] = row["ns"]
+                else:
+                    check.phases[path.removeprefix("check-sat/")] = row["ns"]
+        if events is not None:
+            if check.answer == "unknown" and check.reason is not None:
+                events.emit("unknown", index=index, reason=check.reason)
+            events.emit("check-end", index=index, answer=check.answer)
+        return check
+
+    def _check_sat_inner(self) -> CheckSatResult:
         expected, self._status = self._status, None
-        self._prepare_frames()
+        metrics = self._obs.metrics
+        # Theory plugins are per-check; drop last check's sources so the
+        # snapshot delta reports this check's plugins from zero.
+        metrics.unregister_prefix("theory.")
+        before = metrics.snapshot()
+        # Increment after the snapshot so each check's delta shows
+        # ``engine.checks == 1`` rather than a stale zero.
+        self._checks_run += 1
+        with trace_span("prepare"):
+            self._prepare_frames()
         active_prepared = tuple(
             term for frame in self._frames for term in frame.prepared
         )
@@ -320,7 +462,10 @@ class Engine:
         if any(
             term is FALSE for frame in self._frames for term in frame.simplified
         ):
-            stats = dict.fromkeys(self._solver.stats, 0)
+            # Nothing ran, so the delta is all-zero for the solver
+            # counters — exactly the legacy zero-fill shape.
+            delta = metrics.delta(before)
+            stats = self._legacy_stats(delta)
             stats.update(
                 vars=0,
                 clauses=0,
@@ -336,9 +481,11 @@ class Engine:
                 assertions=active_prepared,
                 stats=stats,
                 expected=expected,
+                metrics=delta,
             )
 
-        new_roots, new_vars, new_clauses = self._encode_frames()
+        with trace_span("encode"):
+            new_roots, new_vars, new_clauses = self._encode_frames()
         active_atoms: list[Term] = []
         seen_atoms: set[Term] = set()
         for frame in self._frames:
@@ -369,38 +516,40 @@ class Engine:
         if owned:
             atom_vars = self._registry.atom_vars
             var_to_atom = {atom_vars[atom]: atom for atom in owned}
-            self._solver.theory = _TheorySync(theory, var_to_atom, atom_vars)
+            self._solver.theory = _TheorySync(
+                theory, var_to_atom, atom_vars, self._obs.events
+            )
             self._solver.theory_eager = self._theory_eager
         else:
             theory = None
             self._solver.theory = None
+        if theory is not None:
+            # Register after the `before` snapshot: the plugins are fresh,
+            # so the delta reports their counters as absolute per-check
+            # values (what the legacy prefix-merge reported).
+            theory.register_metrics(metrics)
 
-        before = dict(self._solver.stats)
         # _encode_frames allocated every selector; the filter is for typing.
         selectors = [
             frame.selector for frame in self._frames if frame.selector is not None
         ]
-        answer = self._solver.solve(
-            conflict_limit=self._conflict_limit,
-            assumptions=selectors,
-        )
-        stats = {
-            key: value - before.get(key, 0)
-            for key, value in self._solver.stats.items()
-        }
+        with trace_span("search"):
+            answer = self._solver.solve(
+                conflict_limit=self._conflict_limit,
+                assumptions=selectors,
+            )
+        delta = metrics.delta(before)
+        stats = self._legacy_stats(delta)
         stats.update(
             vars=self._registry.num_vars,
             clauses=self._clauses_shipped,
             atoms=len(active_atoms),
+            trivial=0,
             tseitin_new_vars=new_vars,
             tseitin_new_clauses=new_clauses,
             encoded_assertions=new_roots,
             learned_db=self._solver.num_learnts,
         )
-        if theory is not None:
-            # The composite prefixes every counter with its plugin's name
-            # (``euf_merges``, ``arith_pivots`` ...).
-            stats.update(theory.stats)
 
         def outcome(
             kind: str,
@@ -416,6 +565,7 @@ class Engine:
                 reason=reason,
                 stats=stats,
                 expected=expected,
+                metrics=delta,
             )
 
         if answer == UNSAT:
@@ -426,16 +576,18 @@ class Engine:
         if unowned:
             return outcome("unknown", reason="abstracted-atoms")
 
-        model, fun_interps, failure = self._build_model(theory, active_atoms)
+        with trace_span("model"):
+            model, fun_interps, failure = self._build_model(theory, active_atoms)
         if failure is not None:
             return outcome("unknown", reason=failure)
         assert model is not None
-        try:
-            for term in active_prepared:
-                if evaluate(term, model, fun_interps) is not TRUE:
-                    return outcome("unknown", reason="model-validation-failed")
-        except EvaluationError:
-            return outcome("unknown", reason="model-validation-failed")
+        with trace_span("validate"):
+            try:
+                for term in active_prepared:
+                    if evaluate(term, model, fun_interps) is not TRUE:
+                        return outcome("unknown", reason="model-validation-failed")
+            except EvaluationError:
+                return outcome("unknown", reason="model-validation-failed")
         return outcome("sat", model=model, fun_interps=fun_interps)
 
     def _build_model(
@@ -588,20 +740,67 @@ class Engine:
 
 
 def run_script(
-    source: Union[str, Script], conflict_limit: Optional[int] = None
+    source: Union[str, Script],
+    conflict_limit: Optional[int] = None,
+    *,
+    obs: Optional[Observability] = None,
+    trace: Optional[Union[str, "EventLog"]] = None,
 ) -> ScriptResult:
     """Parse (when given text) and execute a script; return the full
-    :class:`ScriptResult` including printable output."""
-    script = parse_script(source) if isinstance(source, str) else source
-    return Engine(conflict_limit=conflict_limit).run(script)
+    :class:`ScriptResult` including printable output.
+
+    ``obs`` supplies an observability bundle (see :class:`Engine`);
+    ``trace`` is a convenience: a path (an :class:`EventLog` is opened,
+    written and closed around the run) or an open log (shared across
+    calls, left open).  Passing ``trace`` without ``obs`` also turns
+    span tracing on, so ``ScriptResult.phases`` and each check's
+    ``phases`` are populated alongside the JSONL events.
+    """
+    own_log: Optional[EventLog] = None
+    if trace is not None:
+        if isinstance(trace, EventLog):
+            log = trace
+        else:
+            log = own_log = EventLog(trace)
+        if obs is None:
+            obs = Observability.tracing(events=log)
+        elif obs.events is None:
+            obs.events = log
+    engine = Engine(conflict_limit=conflict_limit, obs=obs)
+    tracer = engine.obs.tracer
+    previous = set_current_tracer(tracer) if tracer is not None else None
+    try:
+        if isinstance(source, str):
+            with trace_span("parse"):
+                script = parse_script(source)
+        else:
+            script = source
+        result = engine.run(script)
+    finally:
+        if tracer is not None:
+            set_current_tracer(previous)
+        if own_log is not None:
+            own_log.close()
+    if tracer is not None:
+        result.phases = {
+            path: row["ns"] for path, row in phase_totals(tracer).items()
+        }
+    return result
 
 
 def solve_script(
-    source: Union[str, Script], conflict_limit: Optional[int] = None
+    source: Union[str, Script],
+    conflict_limit: Optional[int] = None,
+    *,
+    obs: Optional[Observability] = None,
+    trace: Optional[Union[str, "EventLog"]] = None,
 ) -> list[CheckSatResult]:
     """Execute a script and return one :class:`CheckSatResult` per
-    ``(check-sat)``, in script order."""
-    return run_script(source, conflict_limit=conflict_limit).check_results
+    ``(check-sat)``, in script order.  ``obs``/``trace`` as in
+    :func:`run_script`."""
+    return run_script(
+        source, conflict_limit=conflict_limit, obs=obs, trace=trace
+    ).check_results
 
 
 __all__ = ["Engine", "run_script", "solve_script"]

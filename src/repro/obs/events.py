@@ -1,0 +1,240 @@
+"""The structured search-event log (JSONL).
+
+An :class:`EventLog` streams one JSON object per line to a sink — a path
+or any writable file object.  Every record carries three envelope
+fields:
+
+* ``seq`` — the record's 0-based position in the log,
+* ``t_ns`` — nanoseconds since the log was opened (``perf_counter_ns``,
+  monotonic),
+* ``kind`` — one of the kinds in :data:`EVENT_SCHEMA`,
+
+plus the kind's own payload fields (clause sizes, LBD, backjump levels,
+the originating theory plugin, ``unknown`` reasons ...).
+
+Adversarial instances produce millions of decision/conflict events, so
+the log is **bounded by construction**: each kind gets ``cap_per_kind``
+full-rate records, after which only every ``sample_stride``-th event of
+that kind is written.  Nothing is silently lost — per-kind emitted and
+dropped totals accumulate and :meth:`EventLog.close` appends a final
+``summary`` record carrying them, so a truncated trace still supports
+exact event-rate characterization.
+
+:func:`validate_event` / :func:`validate_trace` check records against
+:data:`EVENT_SCHEMA`; the test suite and CI artifact checks use them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+from typing import IO, Any, Mapping, Optional, Union
+
+#: ``kind`` → payload fields required on every record of that kind.
+#: Records may carry extra fields; the envelope (``seq``/``t_ns``/
+#: ``kind``) is required on all.
+EVENT_SCHEMA: dict[str, frozenset[str]] = {
+    # Script / engine lifecycle.
+    "script": frozenset({"path"}),
+    "push": frozenset({"levels", "depth"}),
+    "pop": frozenset({"levels", "depth"}),
+    "check-begin": frozenset({"index"}),
+    "check-end": frozenset({"index", "answer"}),
+    "unknown": frozenset({"index", "reason"}),
+    # CDCL search.
+    "decision": frozenset({"var", "level"}),
+    "conflict": frozenset({"level", "size"}),
+    "learn": frozenset({"size", "lbd", "backjump"}),
+    "restart": frozenset({"conflicts"}),
+    # Theory integration.
+    "theory-lemma": frozenset({"size"}),
+    "theory-conflict": frozenset({"plugin", "size"}),
+    # Log bookkeeping (always written, never sampled).
+    "summary": frozenset({"counts", "dropped"}),
+}
+
+_ENVELOPE = ("seq", "t_ns", "kind")
+
+#: Default per-kind full-rate budget and past-cap sampling stride.
+DEFAULT_CAP_PER_KIND = 10_000
+DEFAULT_SAMPLE_STRIDE = 100
+
+
+class EventLog:
+    """A bounded JSONL event sink; see the module docstring.
+
+    ``sink`` may be a path (opened and owned by the log) or a writable
+    text file object (flushed but left open).  The log is usable as a
+    context manager; :meth:`close` is idempotent and always appends the
+    ``summary`` record first.
+    """
+
+    def __init__(
+        self,
+        sink: Union[str, Path, IO[str]],
+        cap_per_kind: int = DEFAULT_CAP_PER_KIND,
+        sample_stride: int = DEFAULT_SAMPLE_STRIDE,
+    ) -> None:
+        if cap_per_kind < 1 or sample_stride < 1:
+            raise ValueError("cap_per_kind and sample_stride must be >= 1")
+        if isinstance(sink, (str, Path)):
+            self._sink: IO[str] = open(sink, "w", encoding="utf-8")
+            self._owns_sink = True
+        else:
+            self._sink = sink
+            self._owns_sink = False
+        self._cap = cap_per_kind
+        self._stride = sample_stride
+        self._seq = 0
+        self._t0 = time.perf_counter_ns()
+        self._counts: dict[str, int] = {}
+        self._dropped: dict[str, int] = {}
+        self._closed = False
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Record one event (dropped past the per-kind cap, except on the
+        sampling stride).  Emitting on a closed log is a no-op so late
+        stragglers never crash a solve."""
+        if self._closed:
+            return
+        count = self._counts.get(kind, 0) + 1
+        self._counts[kind] = count
+        if count > self._cap and (count - self._cap) % self._stride != 0:
+            self._dropped[kind] = self._dropped.get(kind, 0) + 1
+            return
+        self._write(kind, fields)
+
+    def _write(self, kind: str, fields: Mapping[str, Any]) -> None:
+        record = {"seq": self._seq, "t_ns": time.perf_counter_ns() - self._t0, "kind": kind}
+        record.update(fields)
+        self._seq += 1
+        self._sink.write(json.dumps(record, separators=(",", ":"), sort_keys=False))
+        self._sink.write("\n")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Events seen per kind (written + dropped)."""
+        return dict(self._counts)
+
+    @property
+    def dropped(self) -> dict[str, int]:
+        """Events dropped per kind by the cap/sampling bound."""
+        return dict(self._dropped)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._write("summary", {"counts": self._counts, "dropped": self._dropped})
+        self._closed = True
+        self._sink.flush()
+        if self._owns_sink:
+            self._sink.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Schema validation.
+# ---------------------------------------------------------------------------
+
+
+def validate_event(record: object) -> list[str]:
+    """Problems with one decoded record (empty list = schema-valid)."""
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return [f"record is not an object: {record!r}"]
+    for field in _ENVELOPE:
+        if field not in record:
+            errors.append(f"missing envelope field {field!r}")
+    seq = record.get("seq")
+    if "seq" in record and (not isinstance(seq, int) or seq < 0):
+        errors.append(f"seq must be a non-negative integer, got {seq!r}")
+    t_ns = record.get("t_ns")
+    if "t_ns" in record and (not isinstance(t_ns, int) or t_ns < 0):
+        errors.append(f"t_ns must be a non-negative integer, got {t_ns!r}")
+    kind = record.get("kind")
+    if kind is not None:
+        required = EVENT_SCHEMA.get(kind)
+        if required is None:
+            errors.append(f"unknown event kind {kind!r}")
+        else:
+            for field in sorted(required):
+                if field not in record:
+                    errors.append(f"{kind}: missing field {field!r}")
+    return errors
+
+
+def validate_trace(source: Union[str, Path, IO[str]]) -> list[str]:
+    """Problems across a whole JSONL trace: per-line JSON decoding and
+    schema validity, ``seq`` contiguity, ``t_ns`` monotonicity, and the
+    presence of a final ``summary`` record."""
+    if isinstance(source, (str, Path)):
+        handle: IO[str] = open(source, encoding="utf-8")
+        own = True
+    else:
+        handle = source
+        own = False
+    errors: list[str] = []
+    last_kind: Optional[str] = None
+    expected_seq = 0
+    last_t = -1
+    try:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {number}: invalid JSON ({exc})")
+                continue
+            for problem in validate_event(record):
+                errors.append(f"line {number}: {problem}")
+            if isinstance(record, dict):
+                if record.get("seq") != expected_seq:
+                    errors.append(
+                        f"line {number}: seq {record.get('seq')!r}, expected {expected_seq}"
+                    )
+                expected_seq += 1
+                t_ns = record.get("t_ns")
+                if isinstance(t_ns, int):
+                    if t_ns < last_t:
+                        errors.append(f"line {number}: t_ns went backwards")
+                    last_t = t_ns
+                kind = record.get("kind")
+                last_kind = kind if isinstance(kind, str) else last_kind
+    finally:
+        if own:
+            handle.close()
+    if expected_seq == 0:
+        errors.append("trace is empty")
+    elif last_kind != "summary":
+        errors.append("trace does not end with a summary record")
+    return errors
+
+
+def open_memory_log(**kwargs: Any) -> tuple[EventLog, io.StringIO]:
+    """An :class:`EventLog` writing into an in-memory buffer — the shape
+    tests and ad-hoc tooling want."""
+    buffer = io.StringIO()
+    return EventLog(buffer, **kwargs), buffer
+
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "DEFAULT_CAP_PER_KIND",
+    "DEFAULT_SAMPLE_STRIDE",
+    "EventLog",
+    "validate_event",
+    "validate_trace",
+    "open_memory_log",
+]

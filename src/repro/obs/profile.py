@@ -1,0 +1,72 @@
+"""Rendering helpers over recorded spans: per-phase totals and the
+``--profile`` table.
+
+Totals key on the span *path* (``check-sat/search/theory-check``) so a
+phase name reused at different depths never double-counts, and the
+insertion order of the returned mapping follows the tree (parents before
+children), which makes the formatted table read as an indented
+hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Union
+
+from .spans import Span, Tracer
+
+
+def phase_totals(spans: Union[Tracer, Iterable[Span]]) -> dict[str, dict[str, int]]:
+    """Aggregate a span forest into ``path -> {"ns": total, "count": n}``.
+
+    Same-path spans (several ``check-sat`` roots, say) accumulate into
+    one row.  Accepts a :class:`Tracer` (its roots) or any span iterable.
+    """
+    roots = spans.roots if isinstance(spans, Tracer) else list(spans)
+    totals: dict[str, dict[str, int]] = {}
+    stack = [(span, span.name) for span in reversed(roots)]
+    ordered: list[tuple[Span, str]] = []
+    while stack:
+        span, path = stack.pop()
+        ordered.append((span, path))
+        for child in reversed(span.children):
+            stack.append((child, f"{path}/{child.name}"))
+    for span, path in ordered:
+        row = totals.get(path)
+        if row is None:
+            totals[path] = {"ns": span.total_ns, "count": span.count}
+        else:
+            row["ns"] += span.total_ns
+            row["count"] += span.count
+    return totals
+
+
+def phase_seconds(spans: Union[Tracer, Iterable[Span]]) -> dict[str, float]:
+    """Per-phase wall-clock in seconds (JSON-artifact shape)."""
+    return {
+        path: round(row["ns"] / 1e9, 6) for path, row in phase_totals(spans).items()
+    }
+
+
+def format_phase_table(
+    totals: Union[Tracer, Iterable[Span], Mapping[str, Mapping[str, int]]],
+    prefix: str = "",
+) -> str:
+    """The per-phase timing table (one line per path, indented by depth).
+
+    ``prefix`` is prepended to every line — the CLI passes ``"; "`` so
+    the table stays an SMT-LIB comment block.
+    """
+    if not isinstance(totals, Mapping):
+        totals = phase_totals(totals)
+    header = f"{'phase':<40} {'total_s':>10} {'count':>8}"
+    lines = [prefix + header, prefix + "-" * len(header)]
+    for path, row in totals.items():
+        depth = path.count("/")
+        label = "  " * depth + path.rsplit("/", 1)[-1]
+        lines.append(
+            prefix + f"{label:<40} {row['ns'] / 1e9:>10.4f} {row['count']:>8}"
+        )
+    return "\n".join(lines)
+
+
+__all__ = ["phase_totals", "phase_seconds", "format_phase_table"]

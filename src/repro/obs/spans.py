@@ -1,0 +1,191 @@
+"""Hierarchical span tracing over ``perf_counter_ns``.
+
+A :class:`Tracer` records a tree of named :class:`Span` activations —
+``parse`` → ``check-sat`` → ``search`` → ``theory-check`` — with
+nanosecond wall-clock per node.  Spans are context managers::
+
+    tracer = Tracer()
+    with tracer.span("check-sat"):
+        with tracer.span("encode"):
+            ...
+
+Two properties matter for instrumenting a solver:
+
+* **Merging** — hot repeated children (a theory check per propagation
+  fixpoint) would bloat the tree; ``span(name, merge=True)`` folds every
+  closed same-named sibling into one node that accumulates ``total_ns``
+  and ``count``.  The tree stays bounded by the number of *distinct*
+  phase names, not the number of activations.
+* **No-op cheapness** — call sites in library code use the module-level
+  :func:`trace_span`, which consults the *current tracer*.  When none is
+  installed (the default), it returns a shared null context manager
+  after a single global load, so instrumented code paths cost a few
+  nanoseconds when tracing is off.  The current tracer is plain module
+  state (like the intern table, the library is single-threaded by
+  design); installers save and restore via :func:`set_current_tracer`.
+
+Spans close in LIFO order even when the body raises — the context
+manager protocol guarantees it — and reentrant same-name nesting is
+legal (recursive phases simply nest).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Span:
+    """One node of the trace tree.
+
+    ``total_ns`` is the authoritative duration: for a plain span it is
+    ``end - start``; for a merged span it accumulates over every folded
+    activation, with ``count`` recording how many.
+    """
+
+    __slots__ = ("name", "start_ns", "total_ns", "count", "children", "_open")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.start_ns = 0
+        self.total_ns = 0
+        self.count = 1
+        self.children: list[Span] = []
+        self._open = False
+
+    def to_dict(self) -> dict:
+        """JSON-ready recursive shape."""
+        out: dict = {"name": self.name, "ns": self.total_ns, "count": self.count}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<span {self.name} {self.total_ns}ns x{self.count}>"
+
+
+class _SpanHandle:
+    """Context manager for one span activation."""
+
+    __slots__ = ("_tracer", "span", "_merge")
+
+    def __init__(self, tracer: "Tracer", span: Span, merge: bool) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._merge = merge
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._enter(self.span)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._exit(self.span, self._merge)
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans; see the module docstring."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, merge: bool = False) -> _SpanHandle:
+        """A context manager recording one activation of ``name``."""
+        return _SpanHandle(self, Span(name), merge)
+
+    @property
+    def depth(self) -> int:
+        """Currently open spans (0 outside any activation)."""
+        return len(self._stack)
+
+    def _enter(self, span: Span) -> None:
+        if span._open:
+            raise RuntimeError(f"span handle re-entered while open: {span.name}")
+        span._open = True
+        (self._stack[-1].children if self._stack else self.roots).append(span)
+        self._stack.append(span)
+        span.start_ns = time.perf_counter_ns()
+
+    def _exit(self, span: Span, merge: bool) -> None:
+        elapsed = time.perf_counter_ns() - span.start_ns
+        top = self._stack.pop()
+        assert top is span, "spans must close in LIFO order"
+        span.total_ns += elapsed
+        span._open = False
+        if not merge:
+            return
+        siblings = self._stack[-1].children if self._stack else self.roots
+        for sibling in siblings:
+            if sibling is span or sibling.name != span.name or sibling._open:
+                continue
+            _merge_into(sibling, span)
+            siblings.remove(span)
+            return
+
+
+def _merge_into(dst: Span, src: Span) -> None:
+    """Fold ``src`` into ``dst``, merging same-named children recursively
+    so a hot merged span never accumulates one subtree per activation."""
+    dst.total_ns += src.total_ns
+    dst.count += src.count
+    for child in src.children:
+        for existing in dst.children:
+            if existing.name == child.name and not existing._open:
+                _merge_into(existing, child)
+                break
+        else:
+            dst.children.append(child)
+
+
+# ---------------------------------------------------------------------------
+# The current tracer (module state; single-threaded by design).
+# ---------------------------------------------------------------------------
+
+_current: Optional[Tracer] = None
+
+
+def set_current_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` as the target of :func:`trace_span`; returns the
+    previous one so callers can restore it (``finally``-style)."""
+    global _current
+    previous = _current
+    _current = tracer
+    return previous
+
+
+def get_current_tracer() -> Optional[Tracer]:
+    return _current
+
+
+def trace_span(name: str, merge: bool = False):
+    """A span on the current tracer, or the shared no-op when tracing is
+    off — the library-wide instrumentation entry point."""
+    tracer = _current
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, merge)
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "trace_span",
+    "set_current_tracer",
+    "get_current_tracer",
+]

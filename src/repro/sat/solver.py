@@ -54,7 +54,10 @@ same order always produce the same answer, model and statistics.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # event emission is optional; no runtime import cost
+    from ..obs.events import EventLog
 
 #: Answers returned by :meth:`Solver.solve`.
 SAT = "sat"
@@ -169,6 +172,11 @@ class Solver:
         #: When set, the theory hook also runs at every decision-level
         #: fixpoint, not only at full assignments.
         self.theory_eager: bool = True
+        #: Optional structured search-event log
+        #: (:class:`repro.obs.events.EventLog`).  ``None`` (the default)
+        #: keeps the search loop free of instrumentation beyond one
+        #: ``is None`` test per emission site.
+        self.events: Optional["EventLog"] = None
         self.stats: dict[str, int] = {
             "decisions": 0,
             "conflicts": 0,
@@ -554,7 +562,10 @@ class Solver:
         self.stats["theory_checks"] += 1
         for lits in self.theory.on_check(self, final):
             self.stats["theory_lemmas"] += 1
-            conflict = self._integrate_lemma([int(lit) for lit in lits])
+            lemma = [int(lit) for lit in lits]
+            if self.events is not None:
+                self.events.emit("theory-lemma", size=len(lemma), final=final)
+            conflict = self._integrate_lemma(lemma)
             if self._unsat:
                 return None
             if conflict is not None:
@@ -738,11 +749,25 @@ class Solver:
                 conflicts += 1
                 conflicts_since_restart += 1
                 self.stats["conflicts"] += 1
+                if self.events is not None:
+                    self.events.emit(
+                        "conflict",
+                        level=len(self._trail_lim),
+                        size=len(conflict.lits),
+                    )
                 if not self._trail_lim:
                     self._unsat = True
                     self._failed_assumptions = ()
                     return UNSAT
                 learnt, backtrack_level = self._analyze(conflict)
+                if self.events is not None:
+                    # LBD (literal block distance): distinct decision
+                    # levels in the learnt clause, read out before the
+                    # backjump invalidates the level array.
+                    lbd = len({self._levels[abs(q)] for q in learnt})
+                    self.events.emit(
+                        "learn", size=len(learnt), lbd=lbd, backjump=backtrack_level
+                    )
                 self._cancel_until(backtrack_level)
                 self._record(learnt)
                 self._var_inc *= _VAR_DECAY
@@ -756,6 +781,8 @@ class Solver:
                 conflicts_since_restart = 0
                 restart_limit = RESTART_BASE * luby(restarts + 1)
                 self.stats["restarts"] += 1
+                if self.events is not None:
+                    self.events.emit("restart", conflicts=conflicts)
                 self._cancel_until(0)
                 continue
             if len(self._learnts) - len(self._trail) >= max_learnts:
@@ -791,6 +818,8 @@ class Solver:
                 self._cancel_until(0)
                 return SAT
             self.stats["decisions"] += 1
+            if self.events is not None:
+                self.events.emit("decision", var=var, level=len(self._trail_lim) + 1)
             self._trail_lim.append(len(self._trail))
             self._assign(var if self._phase[var] else -var, None)
 

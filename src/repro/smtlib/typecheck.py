@@ -858,23 +858,28 @@ def _check_uncached(
 
 def check_script(script) -> None:
     """Check every defined body and asserted term of a script in context."""
+    from ..obs.spans import trace_span
     from .script import Assert, DefineFun, apply_command
 
-    context = DeclarationContext()
-    for command in script.commands:
-        if isinstance(command, DefineFun):
-            # Parameters are bound variables (they may shadow declarations),
-            # not declarations of their own.
-            reject_duplicate_names("define-fun parameter", [n for n, _ in command.params])
-            body_sort = _check(command.body, context, dict(command.params), {})
-            if body_sort != command.result:
-                raise TypeCheckError(
-                    f"define-fun {command.name!r} declares result {command.result}, body has {body_sort}"
+    with trace_span("typecheck"):
+        context = DeclarationContext()
+        for command in script.commands:
+            if isinstance(command, DefineFun):
+                # Parameters are bound variables (they may shadow
+                # declarations), not declarations of their own.
+                reject_duplicate_names(
+                    "define-fun parameter", [n for n, _ in command.params]
                 )
-        elif isinstance(command, Assert):
-            if _check(command.term, context, {}, {}) != BOOL:
-                raise TypeCheckError("asserted term must be Bool")
-        apply_command(command, context)
+                body_sort = _check(command.body, context, dict(command.params), {})
+                if body_sort != command.result:
+                    raise TypeCheckError(
+                        f"define-fun {command.name!r} declares result "
+                        f"{command.result}, body has {body_sort}"
+                    )
+            elif isinstance(command, Assert):
+                if _check(command.term, context, {}, {}) != BOOL:
+                    raise TypeCheckError("asserted term must be Bool")
+            apply_command(command, context)
 
 
 __all__ = [

@@ -55,6 +55,7 @@ from fractions import Fraction
 from math import gcd
 from typing import Optional, Union
 
+from ..obs.spans import trace_span
 from ..smtlib.linarith import difference_form
 from ..smtlib.sorts import INT, REAL
 from ..smtlib.terms import Apply, Constant, Symbol, Term, int_const
@@ -578,14 +579,14 @@ class ArithTheory(Theory):
         compiled = self._compile(atom)
         if compiled[0] == "const":
             if compiled[1] != positive:
-                self._set_conflict(TheoryConflict(((atom, positive),)))
+                self._set_conflict(TheoryConflict(((atom, positive),), source=self.name))
             return self._conflict
         _, var, positive_bound, negative_bound = compiled
         is_upper, value = positive_bound if positive else negative_bound
         clash = self._assert_bound(var, is_upper, value, (atom, positive))
         if clash is not None:
             literals = tuple(l for l in clash if l is not None)
-            self._set_conflict(TheoryConflict(literals))
+            self._set_conflict(TheoryConflict(literals, source=self.name))
         return self._conflict
 
     def check(self) -> Optional[TheoryConflict]:
@@ -599,13 +600,14 @@ class ArithTheory(Theory):
             if not literals:  # defensive: never ship an empty explanation
                 self._incomplete = True
                 return None
-            self._set_conflict(TheoryConflict(literals))
+            self._set_conflict(TheoryConflict(literals, source=self.name))
             return self._conflict
         if self._fractional_int_var() is None:
             return None
-        verdict, accumulated = self._branch([self._branch_limit])
+        with trace_span("branch-and-bound", merge=True):
+            verdict, accumulated = self._branch([self._branch_limit])
         if verdict == "unsat" and accumulated:
-            self._set_conflict(TheoryConflict(tuple(accumulated)))
+            self._set_conflict(TheoryConflict(tuple(accumulated), source=self.name))
             return self._conflict
         if verdict != "sat":
             self._incomplete = True

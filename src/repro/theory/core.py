@@ -32,7 +32,10 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 from ..smtlib.evaluate import FunctionInterpretation
 from ..smtlib.sorts import (
@@ -61,10 +64,13 @@ class TheoryConflict:
     ``literals`` are ``(atom, positive)`` pairs whose conjunction the
     theory refutes; the engine negates them into a blocking clause.  Every
     listed literal must currently be asserted — the explanation is a
-    subset, ideally small, of the asserted set.
+    subset, ideally small, of the asserted set.  ``source`` names the
+    plugin that produced the conflict (observability provenance: the
+    search-event log records which theory vetoed an assignment).
     """
 
     literals: tuple[tuple[Term, bool], ...]
+    source: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "literals", tuple(self.literals))
@@ -127,6 +133,13 @@ class Theory(ABC):
         when :meth:`model` returns ``None``.  Default: ``None`` (the
         theory is complete for its fragment)."""
         return None
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Absorb this plugin's counters into a metrics registry under
+        ``theory.<name>``.  The default registration covers any plugin
+        whose ``stats`` is a plain dict; plugins with gauge-like keys or
+        extra instruments override and extend."""
+        registry.register_source(f"theory.{self.name}", lambda: self.stats)
 
 
 class TheoryComposite(Theory):
@@ -230,6 +243,10 @@ class TheoryComposite(Theory):
             if reason is not None:
                 return reason
         return None
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        for plugin in self._plugins:
+            plugin.register_metrics(registry)
 
 
 _UNROUTED = object()

@@ -96,7 +96,7 @@ class EufTheory(Theory):
         self._conflict: Optional[TheoryConflict] = None
         self._trail: list[tuple] = []
         self._marks: list[int] = []
-        self.stats = {"literals": 0, "merges": 0, "conflicts": 0}
+        self.stats = {"literals": 0, "merges": 0, "conflicts": 0, "explains": 0}
 
     # -- fragment membership -------------------------------------------------
 
@@ -241,7 +241,7 @@ class EufTheory(Theory):
                 if const_y is not None:
                     if const_x is not const_y:
                         self._set_conflict(
-                            TheoryConflict(tuple(self.explain(const_x, const_y)))
+                            TheoryConflict(tuple(self.explain(const_x, const_y)), source=self.name)
                         )
                         return
                 else:
@@ -257,7 +257,7 @@ class EufTheory(Theory):
                     if self.find(lhs) is self.find(rhs):
                         literals = [(atom, False)]
                         literals.extend(self.explain(lhs, rhs))
-                        self._set_conflict(TheoryConflict(tuple(literals)))
+                        self._set_conflict(TheoryConflict(tuple(literals), source=self.name))
                         return
                     merged.append(entry)
             # Congruence: re-sign the absorbed class's use-list.
@@ -298,6 +298,7 @@ class EufTheory(Theory):
     def explain(self, a: Term, b: Term) -> list[tuple[Term, bool]]:
         """The asserted literals forcing ``a = b``, as ``(atom, positive)``
         pairs — a (deduplicated) subset of the asserted set."""
+        self.stats["explains"] += 1
         out: list[tuple[Term, bool]] = []
         seen_pairs: set[frozenset] = set()
         seen_literals: set[tuple[Term, bool]] = set()
@@ -366,7 +367,7 @@ class EufTheory(Theory):
             elif self.find(lhs) is self.find(rhs):
                 literals = [(atom, False)]
                 literals.extend(self.explain(lhs, rhs))
-                self._set_conflict(TheoryConflict(tuple(literals)))
+                self._set_conflict(TheoryConflict(tuple(literals), source=self.name))
             else:
                 for end_a, end_b in ((lhs, rhs), (rhs, lhs)):
                     entries = self._diseqs.setdefault(self.find(end_a), [])
