@@ -32,14 +32,26 @@ Observability flags:
   guards, level-0 facts and theory lemmas — in DIMACS format (with
   several inputs, ``PATH.<index>`` per file).
 
+Certification flags:
+
+* ``--proof PATH`` turns proof production on and writes each ``unsat``
+  answer's DRAT-style clause proof to ``PATH`` (``PATH.<index>`` per
+  file with several inputs, and ``.c<check>`` per check when a script
+  has several unsat answers).
+* ``--check-proofs`` turns proof production on and replays every
+  ``unsat`` answer's proof through the independent RUP/DRAT checker; a
+  missing or rejected proof prints an error and fails the run.
+
 Exit status: 0 on success, 1 when any file failed to read, parse or
-type-check, 2 when ``--strict-status`` found a contradicted annotation.
+type-check (or ``--check-proofs`` rejected a proof), 2 when
+``--strict-status`` found a contradicted annotation.
 
 Usage::
 
     python -m repro file.smt2 [more.smt2 ...] [--stats] [--stats-json]
                     [--trace FILE] [--profile] [--conflict-limit N]
-                    [--dimacs PATH] [--strict-status]
+                    [--dimacs PATH] [--proof PATH] [--check-proofs]
+                    [--strict-status]
 """
 
 from __future__ import annotations
@@ -61,6 +73,7 @@ from .obs import (
     set_current_tracer,
     trace_span,
 )
+from .proof import check_proof
 from .smtlib import parse_script
 
 
@@ -107,6 +120,19 @@ def main(argv: Optional[list[str]] = None) -> int:
         "several scripts are given)",
     )
     parser.add_argument(
+        "--proof",
+        metavar="PATH",
+        default=None,
+        help="produce clause proofs and write each unsat answer's DRAT "
+        "proof to PATH (PATH.<i> per file, .c<check> per extra unsat check)",
+    )
+    parser.add_argument(
+        "--check-proofs",
+        action="store_true",
+        help="produce clause proofs and verify every unsat answer with the "
+        "independent RUP/DRAT checker (a rejected proof fails the run)",
+    )
+    parser.add_argument(
         "--strict-status",
         action="store_true",
         help="exit non-zero when an answer contradicts (set-info :status ...)",
@@ -142,7 +168,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                     if (tracer is not None or events is not None)
                     else None
                 )
-                engine = Engine(conflict_limit=args.conflict_limit, obs=obs)
+                produce_proofs = args.proof is not None or args.check_proofs
+                engine = Engine(
+                    conflict_limit=args.conflict_limit,
+                    obs=obs,
+                    produce_proofs=produce_proofs,
+                )
                 result = engine.run(script)
             finally:
                 if tracer is not None:
@@ -158,6 +189,45 @@ def main(argv: Optional[list[str]] = None) -> int:
                     f"{check.answer} but :status is {check.expected}",
                     file=sys.stderr,
                 )
+            if produce_proofs:
+                unsat_checks = [
+                    (check_index, check)
+                    for check_index, check in enumerate(result.check_results)
+                    if check.answer == "unsat"
+                ]
+                for check_index, check in unsat_checks:
+                    if check.proof is None:
+                        print(
+                            f'(error "{path}: check-sat #{check_index} is unsat'
+                            ' but carries no proof")',
+                            file=sys.stderr,
+                        )
+                        status = 1
+                        continue
+                    if args.check_proofs:
+                        verdict = check_proof(check.proof)
+                        if not verdict.ok:
+                            print(
+                                f'(error "{path}: check-sat #{check_index} proof'
+                                f' rejected: {verdict.error}")',
+                                file=sys.stderr,
+                            )
+                            status = 1
+                    if args.proof is not None:
+                        base = (
+                            args.proof
+                            if len(args.paths) == 1
+                            else f"{args.proof}.{index}"
+                        )
+                        out_path = (
+                            base
+                            if len(unsat_checks) == 1
+                            else f"{base}.c{check_index}"
+                        )
+                        Path(out_path).write_text(
+                            check.proof.to_drat(include_inputs=True),
+                            encoding="utf-8",
+                        )
             if args.stats and not args.stats_json:
                 for check_index, check in enumerate(result.check_results):
                     stats = check.stats
@@ -186,6 +256,16 @@ def main(argv: Optional[list[str]] = None) -> int:
                                 "stats": check.stats,
                                 "metrics": check.metrics,
                                 "phases": check.phases,
+                                "proof_steps": (
+                                    len(check.proof)
+                                    if check.proof is not None
+                                    else None
+                                ),
+                                "unsat_core": (
+                                    list(check.unsat_core)
+                                    if check.unsat_core is not None
+                                    else None
+                                ),
                             }
                             for check in result.check_results
                         ],

@@ -51,6 +51,7 @@ class Frame:
 
     __slots__ = (
         "assertions",
+        "names",
         "prepared",
         "simplified",
         "atom_lists",
@@ -59,10 +60,13 @@ class Frame:
         "consts",
         "funs",
         "selector",
+        "named",
     )
 
     def __init__(self) -> None:
         self.assertions: list[Term] = []
+        #: Parallel to ``assertions``: the ``:named`` label, or ``None``.
+        self.names: list[Optional[str]] = []
         self.prepared: list[Term] = []
         self.simplified: list[Term] = []
         self.atom_lists: list[tuple[Term, ...]] = []
@@ -71,6 +75,11 @@ class Frame:
         self.consts: dict[str, Sort] = {}
         self.funs: dict[str, FunSignature] = {}
         self.selector: Optional[int] = None
+        #: ``(label, selector)`` per encoded named assertion.  Named
+        #: assertions get their own selector on top of the frame's, so a
+        #: failed-assumption core maps straight back to labels; popping
+        #: the frame retires these selectors alongside the frame's own.
+        self.named: list[tuple[str, int]] = []
 
 
 # ---------------------------------------------------------------------------

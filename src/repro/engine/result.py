@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..proof.log import Proof
 from ..smtlib.evaluate import FunctionInterpretation
 from ..smtlib.terms import Constant, Term
 
@@ -35,6 +36,14 @@ class CheckSatResult:
     nanoseconds keyed by span path (``prepare``, ``search``,
     ``search/theory-check`` ...) when the engine ran with a tracer, else
     it is empty.
+
+    For an ``unsat`` answer two certification artifacts may be present:
+    ``proof`` (when the engine ran with proof production on) is the
+    DRAT-style clause proof, checkable with
+    :func:`repro.proof.check_proof`; ``unsat_core`` (when unsat cores
+    were enabled) is the subset of ``:named`` assertion labels whose
+    assertions — together with the unnamed background — are already
+    unsatisfiable, in assertion order.
     """
 
     answer: str
@@ -46,6 +55,8 @@ class CheckSatResult:
     expected: Optional[str] = None
     metrics: dict[str, int] = field(default_factory=dict)
     phases: dict[str, int] = field(default_factory=dict)
+    proof: Optional[Proof] = None
+    unsat_core: Optional[tuple[str, ...]] = None
 
     @property
     def contradicts_expected(self) -> bool:

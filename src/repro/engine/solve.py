@@ -50,7 +50,8 @@ from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import phase_totals
 from ..obs.spans import get_current_tracer, set_current_tracer, trace_span
-from ..sat import SAT, UNKNOWN, UNSAT, Solver, TheoryHook
+from ..proof.log import INPUT, Proof, ProofLog, ProofStep
+from ..sat import SAT, UNKNOWN, UNSAT, Solver, TheoryHook, TheoryLemma
 from ..sat.dimacs import to_dimacs
 from ..smtlib.cnf import skeleton_atoms
 from ..smtlib.evaluate import FunctionInterpretation, evaluate
@@ -70,11 +71,13 @@ from ..smtlib.script import (
     DefineFun,
     Exit,
     GetModel,
+    GetUnsatCore,
     GetValue,
     Pop,
     Push,
     Script,
     SetInfo,
+    SetOption,
 )
 from ..smtlib.simplify import simplify, to_nnf
 from ..smtlib.sorts import BOOL, Sort
@@ -169,7 +172,10 @@ class _TheorySync(TheoryHook):
                 plugin=conflict.source or self._theory.name,
                 size=len(clause),
             )
-        return (clause,)
+        # TheoryLemma tags the clause with its plugin so proof logging
+        # records the lemma's provenance (a plain list works identically
+        # when no proof log is attached).
+        return (TheoryLemma(clause, source=conflict.source or self._theory.name),)
 
 
 class Engine:
@@ -187,6 +193,14 @@ class Engine:
     explicit bundle the engine still keeps a metrics registry (cheap:
     plain-dict sources, no hot-path indirection) but traces and logs
     nothing.
+
+    ``produce_proofs`` attaches a :class:`~repro.proof.ProofLog` to the
+    SAT core so every ``unsat`` :class:`CheckSatResult` carries a
+    checkable clause proof (``(set-option :produce-proofs true)`` before
+    the first clause ships does the same).  ``produce_unsat_cores``
+    enables ``:named``-assertion core extraction and ``(get-unsat-core)``
+    (equivalent to ``(set-option :produce-unsat-cores true)``, which may
+    also toggle it mid-script).
     """
 
     def __init__(
@@ -194,10 +208,14 @@ class Engine:
         conflict_limit: Optional[int] = None,
         theory_eager: bool = True,
         obs: Optional[Observability] = None,
+        produce_proofs: bool = False,
+        produce_unsat_cores: bool = False,
     ) -> None:
         self._conflict_limit = conflict_limit
         self._theory_eager = theory_eager
         self._obs = obs if obs is not None else Observability()
+        self._produce_proofs = produce_proofs
+        self._produce_cores_default = produce_unsat_cores
         self._reset()
 
     def _reset(self) -> None:
@@ -211,7 +229,11 @@ class Engine:
         self._checks_run = 0
         self._last: Optional[CheckSatResult] = None
         self._status: Optional[str] = None
+        self._produce_cores = self._produce_cores_default
         metrics = self._obs.metrics
+        metrics.unregister_prefix("proof")
+        if self._produce_proofs:
+            self._enable_proofs()
         metrics.register_source("sat", lambda: self._solver.stats)
         metrics.register_source("intern", intern_stats, gauges=("live",))
         metrics.register_source(
@@ -219,6 +241,26 @@ class Engine:
             self._engine_counters,
             gauges=("vars", "learned_db", "frames"),
         )
+
+    def _enable_proofs(self) -> None:
+        """Attach a proof log to the SAT core (idempotent).
+
+        Raises :class:`~repro.errors.SolverError` once clauses have
+        shipped: a proof must cover every clause the solver ever saw, so
+        late enabling would certify against an incomplete axiom set."""
+        if self._solver.proof is not None:
+            return
+        if self._clauses_shipped:
+            raise SolverError(
+                ":produce-proofs must be enabled before the first check-sat "
+                "ships clauses to the solver"
+            )
+        self._solver.proof = ProofLog()
+        self._obs.metrics.register_source("proof", self._proof_counters)
+
+    def _proof_counters(self) -> dict[str, int]:
+        proof = self._solver.proof
+        return proof.stats if proof is not None else {}
 
     def _engine_counters(self) -> dict[str, int]:
         return {
@@ -291,7 +333,15 @@ class Engine:
 
     def _execute(self, command: Command, result: ScriptResult) -> None:
         if isinstance(command, Assert):
-            self._frames[-1].assertions.append(command.term)
+            frame = self._frames[-1]
+            frame.assertions.append(command.term)
+            frame.names.append(command.name)
+            if command.name is not None:
+                # The label aliases its term (SMT-LIB 2.6 §4.1.5), so
+                # later occurrences of the name inline to the term.
+                frame.definitions[command.name] = DefineFun(
+                    command.name, (), BOOL, command.term
+                )
         elif isinstance(command, CheckSat):
             check = self._check_sat()
             self._last = check
@@ -299,6 +349,8 @@ class Engine:
             result.output.append(check.answer)
         elif isinstance(command, GetModel):
             result.output.append(self._get_model())
+        elif isinstance(command, GetUnsatCore):
+            result.output.append(self._get_unsat_core())
         elif isinstance(command, GetValue):
             result.output.append(self._get_value(command.terms))
         elif isinstance(command, Push):
@@ -318,6 +370,11 @@ class Engine:
                     # Retire the frame: its guarded clauses become vacuous.
                     self._retired_selectors += 1
                     self._add_clause((-frame.selector,))
+                for _name, selector in frame.named:
+                    # Named assertions carry their own selector; retire
+                    # those too so popped labels leave future cores.
+                    self._retired_selectors += 1
+                    self._add_clause((-selector,))
             del self._frames[len(self._frames) - command.levels :]
             if self._obs.events is not None:
                 self._obs.events.emit(
@@ -332,6 +389,15 @@ class Engine:
                 self._frames[-1].funs[command.name] = command.signature
             else:
                 self._frames[-1].consts[command.name] = command.result
+        elif isinstance(command, SetOption):
+            if command.keyword == ":produce-unsat-cores":
+                if command.value in ("true", "false"):
+                    self._produce_cores = command.value == "true"
+            elif command.keyword == ":produce-proofs":
+                if command.value == "true":
+                    self._enable_proofs()
+                elif command.value == "false":
+                    self._solver.proof = None
         elif isinstance(command, SetInfo):
             if command.keyword == ":status" and command.value in (
                 "sat",
@@ -339,7 +405,7 @@ class Engine:
                 "unknown",
             ):
                 self._status = command.value
-        # set-logic / set-option / other set-info / declare-sort: no action.
+        # set-logic / other set-option/set-info / declare-sort: no action.
 
     # -- incremental encoding ------------------------------------------------
 
@@ -384,7 +450,8 @@ class Engine:
             if frame.selector is None:
                 frame.selector = self._registry.new_selector()
             while frame.encoded < len(frame.simplified):
-                term = frame.simplified[frame.encoded]
+                index = frame.encoded
+                term = frame.simplified[index]
                 frame.encoded += 1
                 if term is TRUE or term is FALSE:
                     # TRUE constrains nothing; FALSE short-circuits in
@@ -398,8 +465,16 @@ class Engine:
                 for clause in self._registry.drain_clauses():
                     self._add_clause(clause)
                     new_clauses += 1
+                name = frame.names[index]
+                guard = frame.selector
+                if name is not None:
+                    # A named assertion is guarded by its own selector,
+                    # assumed alongside the frame selectors, so the failed
+                    # assumptions of an unsat answer name the core exactly.
+                    guard = self._registry.new_selector()
+                    frame.named.append((name, guard))
                 self._guard_clauses += 1
-                self._add_clause((-frame.selector, root))
+                self._add_clause((-guard, root))
         self._solver.ensure_vars(self._registry.num_vars)
         return (new_roots, self._registry.num_vars - vars_before, new_clauses)
 
@@ -476,12 +551,15 @@ class Engine:
                 encoded_assertions=0,
                 learned_db=self._solver.num_learnts,
             )
+            proof, core = self._trivial_unsat_artifacts()
             return CheckSatResult(
                 "unsat",
                 assertions=active_prepared,
                 stats=stats,
                 expected=expected,
                 metrics=delta,
+                proof=proof,
+                unsat_core=core,
             )
 
         with trace_span("encode"):
@@ -533,10 +611,16 @@ class Engine:
         selectors = [
             frame.selector for frame in self._frames if frame.selector is not None
         ]
+        named_live = [
+            (name, selector)
+            for frame in self._frames
+            for name, selector in frame.named
+        ]
+        assumptions = selectors + [selector for _name, selector in named_live]
         with trace_span("search"):
             answer = self._solver.solve(
                 conflict_limit=self._conflict_limit,
-                assumptions=selectors,
+                assumptions=assumptions,
             )
         delta = metrics.delta(before)
         stats = self._legacy_stats(delta)
@@ -556,6 +640,8 @@ class Engine:
             reason: Optional[str] = None,
             model: Optional[dict[str, Constant]] = None,
             fun_interps: Optional[dict[str, FunctionInterpretation]] = None,
+            proof: Optional[Proof] = None,
+            unsat_core: Optional[tuple[str, ...]] = None,
         ) -> CheckSatResult:
             return CheckSatResult(
                 kind,
@@ -566,10 +652,28 @@ class Engine:
                 stats=stats,
                 expected=expected,
                 metrics=delta,
+                proof=proof,
+                unsat_core=unsat_core,
             )
 
         if answer == UNSAT:
-            return outcome("unsat")
+            failed = self._solver.failed_assumptions or ()
+            core: Optional[tuple[str, ...]] = None
+            if self._produce_cores:
+                failed_set = set(failed)
+                core = tuple(
+                    name for name, selector in named_live if selector in failed_set
+                )
+            proof: Optional[Proof] = None
+            if self._solver.proof is not None:
+                # The conclusion is the negated failed-assumption core —
+                # exactly the solver's concluding RUP step, so the
+                # snapshot is checkable as-is.
+                with trace_span("proof"):
+                    proof = self._solver.proof.snapshot(
+                        tuple(-lit for lit in failed)
+                    )
+            return outcome("unsat", proof=proof, unsat_core=core)
         if answer == UNKNOWN:
             return outcome("unknown", reason="conflict-limit")
         assert answer == SAT
@@ -589,6 +693,37 @@ class Engine:
             except EvaluationError:
                 return outcome("unknown", reason="model-validation-failed")
         return outcome("sat", model=model, fun_interps=fun_interps)
+
+    def _trivial_unsat_artifacts(
+        self,
+    ) -> tuple[Optional[Proof], Optional[tuple[str, ...]]]:
+        """Proof and core for a check short-circuited by a ``FALSE``
+        assertion (nothing was encoded or solved).
+
+        The shared incremental proof log is left untouched — a popped
+        ``FALSE`` frame must not poison later checks' proofs — so the
+        proof is a standalone one-step argument: the simplified assertion
+        *is* the empty clause.  The core is the first ``FALSE`` named
+        assertion's label, or empty when an unnamed assertion is already
+        ``FALSE`` on its own (the background alone is unsat)."""
+        proof: Optional[Proof] = None
+        if self._solver.proof is not None:
+            proof = Proof(
+                (ProofStep(INPUT, (), source="assert-false"),), conclusion=()
+            )
+        if not self._produce_cores:
+            return proof, None
+        named_false: Optional[str] = None
+        for frame in self._frames:
+            for index, term in enumerate(frame.simplified):
+                if term is not FALSE:
+                    continue
+                name = frame.names[index]
+                if name is None:
+                    return proof, ()
+                if named_false is None:
+                    named_false = name
+        return proof, (named_false,) if named_false is not None else ()
 
     def _build_model(
         self,
@@ -712,6 +847,22 @@ class Engine:
             f" {sort_to_smtlib(signature.result)} {body})"
         )
 
+    def _get_unsat_core(self) -> str:
+        if not self._produce_cores:
+            return (
+                '(error "unsat cores are not enabled:'
+                ' (set-option :produce-unsat-cores true)")'
+            )
+        if (
+            self._last is None
+            or self._last.answer != "unsat"
+            or self._last.unsat_core is None
+        ):
+            return '(error "no unsat core available: last check-sat was not unsat")'
+        return "({})".format(
+            " ".join(symbol_to_smtlib(name) for name in self._last.unsat_core)
+        )
+
     def _get_value(self, terms: tuple[Term, ...]) -> str:
         if self._last is None or self._last.model is None:
             return '(error "no model available: last check-sat was not sat")'
@@ -745,6 +896,8 @@ def run_script(
     *,
     obs: Optional[Observability] = None,
     trace: Optional[Union[str, "EventLog"]] = None,
+    produce_proofs: bool = False,
+    produce_unsat_cores: bool = False,
 ) -> ScriptResult:
     """Parse (when given text) and execute a script; return the full
     :class:`ScriptResult` including printable output.
@@ -755,6 +908,9 @@ def run_script(
     calls, left open).  Passing ``trace`` without ``obs`` also turns
     span tracing on, so ``ScriptResult.phases`` and each check's
     ``phases`` are populated alongside the JSONL events.
+    ``produce_proofs``/``produce_unsat_cores`` enable certification
+    artifacts from the outside, exactly like the corresponding
+    ``set-option`` commands at the top of the script.
     """
     own_log: Optional[EventLog] = None
     if trace is not None:
@@ -766,7 +922,12 @@ def run_script(
             obs = Observability.tracing(events=log)
         elif obs.events is None:
             obs.events = log
-    engine = Engine(conflict_limit=conflict_limit, obs=obs)
+    engine = Engine(
+        conflict_limit=conflict_limit,
+        obs=obs,
+        produce_proofs=produce_proofs,
+        produce_unsat_cores=produce_unsat_cores,
+    )
     tracer = engine.obs.tracer
     previous = set_current_tracer(tracer) if tracer is not None else None
     try:
@@ -794,12 +955,19 @@ def solve_script(
     *,
     obs: Optional[Observability] = None,
     trace: Optional[Union[str, "EventLog"]] = None,
+    produce_proofs: bool = False,
+    produce_unsat_cores: bool = False,
 ) -> list[CheckSatResult]:
     """Execute a script and return one :class:`CheckSatResult` per
-    ``(check-sat)``, in script order.  ``obs``/``trace`` as in
+    ``(check-sat)``, in script order.  Keyword arguments as in
     :func:`run_script`."""
     return run_script(
-        source, conflict_limit=conflict_limit, obs=obs, trace=trace
+        source,
+        conflict_limit=conflict_limit,
+        obs=obs,
+        trace=trace,
+        produce_proofs=produce_proofs,
+        produce_unsat_cores=produce_unsat_cores,
     ).check_results
 
 

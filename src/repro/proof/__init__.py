@@ -1,0 +1,36 @@
+"""Proof production and checking: the solver's trust layer.
+
+``sat`` answers are validated in-engine by evaluating the model against
+every live assertion; this package closes the asymmetry for ``unsat``:
+
+* :mod:`repro.proof.log` — the DRAT-style clause proof the CDCL core
+  emits while it searches: input clauses, theory lemmas (with plugin
+  provenance), learned clauses as RUP additions, deletions, and a
+  concluding clause per ``unsat`` answer (the empty clause, or the
+  negation of the failed-assumption core when the check ran under
+  assumptions).
+* :mod:`repro.proof.checker` — an **independent** forward RUP/DRAT
+  checker that shares no code with the solver's propagation loop: it
+  replays the proof with its own counting-based unit propagation and
+  accepts only when every RUP addition is derivable and the conclusion
+  follows.
+
+The trusted base mirrors the SAT-competition convention: input clauses
+(the Tseitin encoding of the simplified assertions) are axioms, and
+theory lemmas are axioms *recorded with provenance* — each lemma step
+names the plugin whose explanation produced it, so the lemma surface is
+auditable even though the checker does not re-derive theory reasoning.
+Everything else — every learned clause and the final conclusion — must
+pass reverse-unit-propagation over the accumulated formula.
+"""
+
+from .checker import ProofCheckResult, check_proof
+from .log import Proof, ProofLog, ProofStep
+
+__all__ = [
+    "Proof",
+    "ProofLog",
+    "ProofStep",
+    "ProofCheckResult",
+    "check_proof",
+]

@@ -1,0 +1,282 @@
+"""An independent forward RUP/DRAT proof checker.
+
+The checker re-derives nothing from the solver: it shares no code with
+the CDCL propagation loop (:mod:`repro.sat.solver` uses two-watched
+literals over mutable clause objects; this module uses counting-based
+unit propagation — per-clause false-literal counters over immutable
+tuples — with a trail for assumption rollback).  Its job is to *audit*
+the solver, so the implementations must be able to disagree.
+
+Checking replays the proof in order:
+
+* ``input`` and ``lemma`` steps extend the formula as axioms (lemmas are
+  recorded with provenance; their theory validity is the trusted base —
+  the same convention DRAT toolchains use for the CNF itself).
+* ``rup`` steps must pass **reverse unit propagation**: asserting the
+  negation of every literal of the clause and unit-propagating over the
+  active formula must reach a conflict.  This covers every learned
+  clause and the concluding clause of the answer.
+* ``delete`` steps deactivate a clause, so later RUP steps cannot lean
+  on clauses the solver had already dropped.  Deleting a clause never
+  retracts permanent (top-level) units it helped derive — the standard
+  forward-checking relaxation, also used by ``drat-trim``.
+
+After the replay the claimed :attr:`~repro.proof.log.Proof.conclusion`
+must itself follow: the empty conclusion requires the formula to have
+propagated to a contradiction, a non-empty conclusion must be RUP (it is
+normally also the final ``rup`` step, so this is a cheap re-check).
+
+Whenever a clause is added while the formula already propagates to a
+contradiction, every later check passes trivially — sound, because the
+contradiction itself was reached by verified steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from .log import DELETE, INPUT, LEMMA, RUP, Proof
+
+
+@dataclass
+class ProofCheckResult:
+    """The verdict of :func:`check_proof`.
+
+    ``ok`` is the certification verdict.  On rejection ``error`` says
+    why and ``step_index`` points at the offending step (``None`` when
+    the conclusion itself failed).  ``stats`` reports the work done:
+    ``rup_checked``, ``propagations``, ``clauses``, ``lemmas``,
+    ``deletions``.
+    """
+
+    ok: bool
+    error: Optional[str] = None
+    step_index: Optional[int] = None
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+class _Checker:
+    """Counting-based unit propagation over an add/delete clause set."""
+
+    def __init__(self) -> None:
+        #: Clause id → deduped literal tuple; ``None`` once deleted.
+        self._clauses: list[Optional[tuple[int, ...]]] = []
+        #: Literal → ids of active-or-deleted clauses containing it.
+        self._occ: dict[int, list[int]] = {}
+        #: Clause id → number of false literals under the current assignment.
+        self._false: list[int] = []
+        #: Variable → +1 (true) / -1 (false); unassigned variables absent.
+        self._value: dict[int, int] = {}
+        #: Assigned literals in assignment order (permanent prefix + the
+        #: temporary suffix of the RUP check in flight).
+        self._trail: list[int] = []
+        #: Sorted-literal key → ids, for deletion matching.
+        self._by_key: dict[tuple[int, ...], list[int]] = {}
+        #: The formula propagates to a conflict at the top level.
+        self.contradiction = False
+        self.stats = {
+            "clauses": 0,
+            "lemmas": 0,
+            "deletions": 0,
+            "rup_checked": 0,
+            "propagations": 0,
+        }
+
+    # -- assignment ---------------------------------------------------------
+
+    def _lit_value(self, lit: int) -> int:
+        value = self._value.get(abs(lit), 0)
+        return value if lit > 0 else -value
+
+    def _propagate(self, pending: list[int]) -> bool:
+        """Assign the pending literals and unit-propagate to fixpoint.
+        Returns ``True`` on conflict.  Assignments stay on the trail for
+        the caller to keep (permanent) or roll back (RUP check)."""
+        index = 0
+        while index < len(pending):
+            lit = pending[index]
+            index += 1
+            value = self._lit_value(lit)
+            if value == 1:
+                continue
+            if value == -1:
+                return True
+            self._value[abs(lit)] = 1 if lit > 0 else -1
+            self._trail.append(lit)
+            self.stats["propagations"] += 1
+            occ = self._occ.get(-lit, ())
+            for pos, cid in enumerate(occ):
+                clause = self._clauses[cid]
+                if clause is None:
+                    continue
+                self._false[cid] += 1
+                if self._false[cid] < len(clause) - 1:
+                    continue
+                unassigned = None
+                satisfied = False
+                for other in clause:
+                    other_value = self._lit_value(other)
+                    if other_value == 1:
+                        satisfied = True
+                        break
+                    if other_value == 0:
+                        unassigned = other
+                if satisfied:
+                    continue
+                if unassigned is None:
+                    # Conflict.  ``lit`` stays on the trail, so finish its
+                    # counter sweep first — :meth:`_undo_to` decrements the
+                    # whole occurrence list and the counts must match.
+                    for rest in occ[pos + 1 :]:
+                        if self._clauses[rest] is not None:
+                            self._false[rest] += 1
+                    return True
+                pending.append(unassigned)
+        return False
+
+    def _undo_to(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            lit = self._trail.pop()
+            del self._value[abs(lit)]
+            for cid in self._occ.get(-lit, ()):
+                if self._clauses[cid] is not None:
+                    self._false[cid] -= 1
+
+    # -- the RUP test -------------------------------------------------------
+
+    def entails(self, lits: Sequence[int]) -> bool:
+        """True when the active formula gives ``lits`` by reverse unit
+        propagation (or is already contradictory)."""
+        if self.contradiction:
+            return True
+        deduped, tautology = _dedupe(lits)
+        if tautology:
+            return True
+        self.stats["rup_checked"] += 1
+        mark = len(self._trail)
+        conflict = self._propagate([-lit for lit in deduped])
+        self._undo_to(mark)
+        return conflict
+
+    # -- formula maintenance ------------------------------------------------
+
+    def add(self, lits: Sequence[int], lemma: bool = False) -> None:
+        """Attach a clause and propagate any permanent consequence."""
+        deduped, tautology = _dedupe(lits)
+        cid = len(self._clauses)
+        self._clauses.append(deduped)
+        self._false.append(0)
+        self._by_key.setdefault(tuple(sorted(deduped)), []).append(cid)
+        self.stats["lemmas" if lemma else "clauses"] += 1
+        false_count = 0
+        for lit in deduped:
+            self._occ.setdefault(lit, []).append(cid)
+            if self._lit_value(lit) == -1:
+                false_count += 1
+        self._false[cid] = false_count
+        if self.contradiction or tautology:
+            return
+        if not deduped:
+            self.contradiction = True
+            return
+        unassigned = None
+        satisfied = False
+        for lit in deduped:
+            value = self._lit_value(lit)
+            if value == 1:
+                satisfied = True
+                break
+            if value == 0:
+                if unassigned is not None:
+                    return  # two free literals: nothing to propagate yet
+                unassigned = lit
+        if satisfied:
+            return
+        if unassigned is None:
+            self.contradiction = True
+            return
+        if self._propagate([unassigned]):
+            self.contradiction = True
+
+    def delete(self, lits: Sequence[int]) -> bool:
+        """Deactivate one clause matching ``lits`` (as a literal set).
+        Returns ``False`` when no active match exists."""
+        deduped, _ = _dedupe(lits)
+        if len(deduped) <= 1:
+            # Unit/empty deletions are ignored (they would retract
+            # permanent propagation); the solver never emits them.
+            self.stats["deletions"] += 1
+            return True
+        ids = self._by_key.get(tuple(sorted(deduped)))
+        if not ids:
+            return False
+        self._clauses[ids.pop()] = None
+        self.stats["deletions"] += 1
+        return True
+
+
+def _dedupe(lits: Sequence[int]) -> tuple[tuple[int, ...], bool]:
+    """Deduplicate preserving order; flag tautologies (p ∨ ¬p)."""
+    seen: set[int] = set()
+    out: list[int] = []
+    tautology = False
+    for lit in lits:
+        lit = int(lit)
+        if lit == 0:
+            raise ValueError("0 is not a literal")
+        if lit in seen:
+            continue
+        if -lit in seen:
+            tautology = True
+        seen.add(lit)
+        out.append(lit)
+    return tuple(out), tautology
+
+
+def check_proof(proof: Proof) -> ProofCheckResult:
+    """Replay ``proof`` and certify it (see the module docstring)."""
+    checker = _Checker()
+    for index, step in enumerate(proof.steps):
+        if step.kind == INPUT:
+            checker.add(step.lits)
+        elif step.kind == LEMMA:
+            checker.add(step.lits, lemma=True)
+        elif step.kind == RUP:
+            if not checker.entails(step.lits):
+                return ProofCheckResult(
+                    False,
+                    error=f"step {index}: clause {list(step.lits)} is not RUP",
+                    step_index=index,
+                    stats=checker.stats,
+                )
+            checker.add(step.lits)
+        elif step.kind == DELETE:
+            if not checker.delete(step.lits):
+                return ProofCheckResult(
+                    False,
+                    error=f"step {index}: deletion of unknown clause {list(step.lits)}",
+                    step_index=index,
+                    stats=checker.stats,
+                )
+        else:
+            return ProofCheckResult(
+                False,
+                error=f"step {index}: unknown step kind {step.kind!r}",
+                step_index=index,
+                stats=checker.stats,
+            )
+    if not checker.entails(proof.conclusion):
+        claim = "the empty clause" if not proof.conclusion else f"clause {list(proof.conclusion)}"
+        return ProofCheckResult(
+            False,
+            error=f"conclusion {claim} does not follow from the proof",
+            stats=checker.stats,
+        )
+    return ProofCheckResult(True, stats=checker.stats)
+
+
+__all__ = ["ProofCheckResult", "check_proof"]

@@ -15,11 +15,12 @@ back to SMT-LIB constants.
 """
 
 from .dimacs import from_dimacs, to_dimacs
-from .solver import SAT, UNKNOWN, UNSAT, Solver, TheoryHook, luby
+from .solver import SAT, UNKNOWN, UNSAT, Solver, TheoryHook, TheoryLemma, luby
 
 __all__ = [
     "Solver",
     "TheoryHook",
+    "TheoryLemma",
     "SAT",
     "UNSAT",
     "UNKNOWN",

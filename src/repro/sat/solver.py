@@ -56,8 +56,9 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
-if TYPE_CHECKING:  # event emission is optional; no runtime import cost
+if TYPE_CHECKING:  # event emission / proof logging are optional attachments
     from ..obs.events import EventLog
+    from ..proof.log import ProofLog
 
 #: Answers returned by :meth:`Solver.solve`.
 SAT = "sat"
@@ -107,6 +108,20 @@ class TheoryHook:
 
     def on_check(self, solver: "Solver", final: bool) -> Iterable[Sequence[int]]:
         return ()
+
+
+class TheoryLemma(list):
+    """A lemma clause that carries provenance.
+
+    Theory hooks may return plain literal sequences; returning a
+    :class:`TheoryLemma` instead lets the proof log record which plugin's
+    explanation produced the clause (the ``lemma`` step's ``source``)."""
+
+    __slots__ = ("source",)
+
+    def __init__(self, lits: Iterable[int] = (), source: Optional[str] = None) -> None:
+        super().__init__(lits)
+        self.source = source
 
 
 class _Clause:
@@ -177,6 +192,14 @@ class Solver:
         #: keeps the search loop free of instrumentation beyond one
         #: ``is None`` test per emission site.
         self.events: Optional["EventLog"] = None
+        #: Optional clause-proof log (:class:`repro.proof.ProofLog`).
+        #: When attached *before any clause is added*, the solver records
+        #: every input clause, theory lemma (with provenance), learned
+        #: clause, deletion, and — at each ``unsat`` return — a concluding
+        #: RUP step (the empty clause, or the negated failed-assumption
+        #: core), so ``proof.snapshot(...)`` is independently checkable by
+        #: :func:`repro.proof.check_proof`.
+        self.proof: Optional["ProofLog"] = None
         self.stats: dict[str, int] = {
             "decisions": 0,
             "conflicts": 0,
@@ -240,6 +263,11 @@ class Solver:
             return False
         self._model = None
         lits = list(lits)
+        if self.proof is not None:
+            # Log the clause as shipped, before level-0 simplification:
+            # the checker holds the original plus every logged unit, which
+            # together subsume whatever simplified form gets attached.
+            self.proof.log_input(lits)
         if lits:
             self.ensure_vars(max(abs(lit) for lit in lits))
         seen: set[int] = set()
@@ -515,6 +543,8 @@ class Solver:
     def _record(self, lits: list[int]) -> None:
         """Attach a learnt clause and assert its first literal."""
         self.stats["learned"] += 1
+        if self.proof is not None:
+            self.proof.log_rup(lits)
         if len(lits) == 1:
             self._assign(lits[0], None)
             return
@@ -552,6 +582,13 @@ class Solver:
         seen[abs(p)] = 0
         return tuple(out)
 
+    def _proof_conclude(self, core: Sequence[int]) -> None:
+        """Log the concluding RUP step of an ``unsat`` answer: the empty
+        clause, or the negation of the failed-assumption core (RUP because
+        the core's reason-graph derivation is a unit-propagation chain)."""
+        if self.proof is not None:
+            self.proof.log_rup(tuple(-lit for lit in core))
+
     # -- theory lemmas ------------------------------------------------------
 
     def _theory_check(self, final: bool) -> Optional[_Clause]:
@@ -563,6 +600,8 @@ class Solver:
         for lits in self.theory.on_check(self, final):
             self.stats["theory_lemmas"] += 1
             lemma = [int(lit) for lit in lits]
+            if self.proof is not None:
+                self.proof.log_lemma(lemma, getattr(lits, "source", None))
             if self.events is not None:
                 self.events.emit("theory-lemma", size=len(lemma), final=final)
             conflict = self._integrate_lemma(lemma)
@@ -692,6 +731,8 @@ class Solver:
         for clause in self._learnts:
             if removed < limit and len(clause.lits) > 2 and id(clause) not in locked:
                 self._detach(clause)
+                if self.proof is not None:
+                    self.proof.log_delete(tuple(clause.lits))
                 removed += 1
             else:
                 kept.append(clause)
@@ -722,11 +763,13 @@ class Solver:
         self._failed_assumptions = None
         if self._unsat:
             self._failed_assumptions = ()
+            self._proof_conclude(())
             return UNSAT
         self._model = None
         if self._propagate() is not None:
             self._unsat = True
             self._failed_assumptions = ()
+            self._proof_conclude(())
             return UNSAT
         conflicts = 0
         restarts = 0
@@ -742,6 +785,7 @@ class Solver:
                 if self._unsat:
                     self._failed_assumptions = ()
                     self._cancel_until(0)
+                    self._proof_conclude(())
                     return UNSAT
                 if conflict is None and self._qhead < len(self._trail):
                     continue  # a theory lemma propagated: reach a fixpoint first
@@ -758,6 +802,7 @@ class Solver:
                 if not self._trail_lim:
                     self._unsat = True
                     self._failed_assumptions = ()
+                    self._proof_conclude(())
                     return UNSAT
                 learnt, backtrack_level = self._analyze(conflict)
                 if self.events is not None:
@@ -794,6 +839,7 @@ class Solver:
                 if value == -1:
                     self._failed_assumptions = self._analyze_final(lit)
                     self._cancel_until(0)
+                    self._proof_conclude(self._failed_assumptions)
                     return UNSAT
                 self._trail_lim.append(len(self._trail))
                 if value == 0:
@@ -806,6 +852,7 @@ class Solver:
                     if self._unsat:
                         self._failed_assumptions = ()
                         self._cancel_until(0)
+                        self._proof_conclude(())
                         return UNSAT
                     if conflict is not None:
                         pending = conflict
@@ -824,4 +871,13 @@ class Solver:
             self._assign(var if self._phase[var] else -var, None)
 
 
-__all__ = ["Solver", "TheoryHook", "SAT", "UNSAT", "UNKNOWN", "RESTART_BASE", "luby"]
+__all__ = [
+    "Solver",
+    "TheoryHook",
+    "TheoryLemma",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "RESTART_BASE",
+    "luby",
+]

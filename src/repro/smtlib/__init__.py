@@ -42,6 +42,7 @@ from .script import (
     Exit,
     FunSignature,
     GetModel,
+    GetUnsatCore,
     GetValue,
     Pop,
     Push,
@@ -159,6 +160,7 @@ __all__ = [
     "DeclareConst",
     "DefineFun",
     "Assert",
+    "GetUnsatCore",
     "CheckSat",
     "GetModel",
     "GetValue",

@@ -33,6 +33,7 @@ from .script import (
     DefineFun,
     Exit,
     GetModel,
+    GetUnsatCore,
     GetValue,
     Pop,
     Push,
@@ -217,6 +218,11 @@ def _term(expr: SExpr, context: DeclarationContext, bound: dict[str, Sort]) -> T
                 return _let_term(expr, context, bound)
             if keyword in ("forall", "exists"):
                 return _quantifier_term(keyword, expr, context, bound)
+            if keyword == "!":
+                raise ParseError(
+                    "annotations (! term :named name) are only supported "
+                    "directly under assert"
+                )
             if keyword in RESERVED_WORDS:
                 raise ParseError(f"reserved word {keyword!r} cannot head an application")
         args = tuple(_term(item, context, bound) for item in expr[1:])
@@ -433,13 +439,28 @@ def parse_command(expr: SExpr, context: DeclarationContext) -> Command:
         return DefineFun(_declarable_fun_name(rest[0]), tuple(params), result, body)
     if name == "assert":
         _expect_operands(name, rest, 1)
-        term = _term(rest[0], context, {})
+        operand = rest[0]
+        label: Optional[str] = None
+        if (
+            isinstance(operand, list)
+            and operand
+            and isinstance(operand[0], Atom)
+            and operand[0].is_plain_symbol
+            and operand[0].text == "!"
+        ):
+            operand, label = _named_annotation(operand)
+        term = _term(operand, context, {})
         if term.sort != BOOL:
             raise TypeCheckError(f"asserted term must be Bool, got {term.sort}")
-        return Assert(term)
-    if name in ("check-sat", "get-model", "exit"):
+        return Assert(term, label)
+    if name in ("check-sat", "get-model", "get-unsat-core", "exit"):
         _expect_operands(name, rest, 0)
-        return {"check-sat": CheckSat, "get-model": GetModel, "exit": Exit}[name]()
+        return {
+            "check-sat": CheckSat,
+            "get-model": GetModel,
+            "get-unsat-core": GetUnsatCore,
+            "exit": Exit,
+        }[name]()
     if name == "get-value":
         _expect_operands(name, rest, 1)
         if not isinstance(rest[0], list) or not rest[0]:
@@ -453,6 +474,33 @@ def parse_command(expr: SExpr, context: DeclarationContext) -> Command:
             raise ParseError(f"{name} level count must be non-negative")
         return (Push if name == "push" else Pop)(levels)
     raise ParseError(f"unknown command: {name}")
+
+
+def _named_annotation(expr: SExpr) -> tuple[SExpr, str]:
+    """Destructure ``(! term :named name)`` under ``assert``.
+
+    Exactly one ``:named`` attribute is supported — other attributes (and
+    repeated pairs) are rejected rather than silently dropped, so nothing
+    the printer cannot round-trip ever enters a :class:`Script`."""
+    if len(expr) < 2:
+        raise ParseError("annotation needs a term: (! term :named name)")
+    attributes = expr[2:]
+    if not attributes:
+        raise ParseError("annotation without attributes: (! term :named name)")
+    if len(attributes) != 2:
+        raise ParseError(
+            "assert annotations take exactly one attribute pair: (! term :named name)"
+        )
+    keyword = attributes[0]
+    if not isinstance(keyword, Atom) or keyword.kind != TokenKind.KEYWORD:
+        raise ParseError(
+            f"expected an attribute keyword, got {sexpr_to_string(keyword)}"
+        )
+    if keyword.text != ":named":
+        raise ParseError(
+            f"unsupported assert annotation {keyword.text!r}; only :named is supported"
+        )
+    return expr[1], _symbol_text(attributes[1])
 
 
 def _reject_duplicate_names(what: str, names: list[str]) -> None:

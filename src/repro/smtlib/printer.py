@@ -158,6 +158,7 @@ def command_to_smtlib(command) -> str:
         DefineFun,
         Exit,
         GetModel,
+        GetUnsatCore,
         GetValue,
         Pop,
         Push,
@@ -192,11 +193,17 @@ def command_to_smtlib(command) -> str:
             term_to_smtlib(command.body),
         )
     if isinstance(command, Assert):
+        if command.name is not None:
+            return "(assert (! {} :named {}))".format(
+                term_to_smtlib(command.term), symbol_to_smtlib(command.name)
+            )
         return f"(assert {term_to_smtlib(command.term)})"
     if isinstance(command, CheckSat):
         return "(check-sat)"
     if isinstance(command, GetModel):
         return "(get-model)"
+    if isinstance(command, GetUnsatCore):
+        return "(get-unsat-core)"
     if isinstance(command, GetValue):
         terms = " ".join(term_to_smtlib(term) for term in command.terms)
         return f"(get-value ({terms}))"

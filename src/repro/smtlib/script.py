@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from ..errors import SortError, UnknownSymbolError
-from .sorts import Sort
+from .sorts import BOOL, Sort
 from .terms import Term
 
 
@@ -215,9 +215,14 @@ class DefineFun(Command):
 
 @dataclass(frozen=True)
 class Assert(Command):
-    """``(assert term)``"""
+    """``(assert term)`` or ``(assert (! term :named name))``.
+
+    ``name``, when set, is the assertion's label for unsat cores: SMT-LIB
+    treats it as a fresh 0-ary ``Bool`` symbol aliasing the term, and
+    ``(get-unsat-core)`` reports a subset of these names."""
 
     term: Term
+    name: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -228,6 +233,11 @@ class CheckSat(Command):
 @dataclass(frozen=True)
 class GetModel(Command):
     """``(get-model)``"""
+
+
+@dataclass(frozen=True)
+class GetUnsatCore(Command):
+    """``(get-unsat-core)``"""
 
 
 @dataclass(frozen=True)
@@ -313,7 +323,9 @@ class Script:
         transform returns a script whose commands compare equal cheaply.
         """
         commands = tuple(
-            Assert(transform(command.term)) if isinstance(command, Assert) else command
+            Assert(transform(command.term), command.name)
+            if isinstance(command, Assert)
+            else command
             for command in self.commands
         )
         return Script(commands)
@@ -336,7 +348,13 @@ def apply_command(command: Command, context: DeclarationContext) -> None:
     the parser calls this after interpreting each command so later commands
     see earlier declarations.
     """
-    if isinstance(command, DeclareSort):
+    if isinstance(command, Assert):
+        if command.name is not None:
+            # A ``:named`` annotation declares its label as a fresh 0-ary
+            # Bool symbol (SMT-LIB 2.6 §4.1.5); routing it through
+            # ``declare_fun`` gets scoping and freshness checks for free.
+            context.declare_fun(command.name, (), BOOL)
+    elif isinstance(command, DeclareSort):
         context.declare_sort(command.name, command.arity)
     elif isinstance(command, DeclareFun):
         context.declare_fun(command.name, command.params, command.result)
@@ -364,6 +382,7 @@ __all__ = [
     "Assert",
     "CheckSat",
     "GetModel",
+    "GetUnsatCore",
     "GetValue",
     "Push",
     "Pop",

@@ -1,0 +1,17 @@
+; Named-assertion unsat cores over linear integer arithmetic: the two
+; bounds on x clash, the slack bound on y is irrelevant — the reported
+; core must name exactly the clashing pair, in assertion order.  The
+; (set-info :unsat-core ...) annotation is the expectation the corpus
+; gate checks, mirroring how :status gates the check-sat answer.
+(set-logic QF_LIA)
+(set-option :produce-unsat-cores true)
+(declare-const x Int)
+(declare-const y Int)
+(assert (! (<= x 2) :named low))
+(assert (! (>= x 5) :named high))
+(assert (! (<= y 100) :named slack))
+(set-info :status unsat)
+(set-info :unsat-core (low high))
+(check-sat)
+(get-unsat-core)
+(exit)

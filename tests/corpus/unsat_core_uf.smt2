@@ -1,0 +1,22 @@
+; Named-assertion unsat cores under push/pop with uninterpreted
+; functions: congruence makes {ab, fdiff} jointly contradictory inside
+; the pushed frame; popping the frame retires fdiff and the remaining
+; script is satisfiable again.  The :named label also aliases its term
+; (SMT-LIB semantics), which the third check exercises negatively.
+(set-logic QF_UF)
+(set-option :produce-unsat-cores true)
+(declare-sort U 0)
+(declare-const a U)
+(declare-const b U)
+(declare-fun f (U) U)
+(assert (! (= a b) :named ab))
+(push 1)
+(assert (! (distinct (f a) (f b)) :named fdiff))
+(set-info :status unsat)
+(set-info :unsat-core (ab fdiff))
+(check-sat)
+(get-unsat-core)
+(pop 1)
+(set-info :status sat)
+(check-sat)
+(exit)

@@ -22,6 +22,15 @@ Every case additionally round-trips through the printer —
 ``sat`` answer must come with a model that the (engine-independent)
 evaluator accepts on every assertion.
 
+Certification rides on every run: the engine solves with proof
+production on, and **every** ``unsat`` verdict — eager, lazy, and the
+incremental push/pop replays below — must carry a clause proof the
+independent RUP/DRAT checker accepts.  A bounded seed subset re-runs
+each fragment lazily (theory checks only at full assignments) and as an
+incremental replay (the last assertion split into a pushed frame,
+popped, and re-pushed), cross-checking the verdicts against the eager
+whole-script run.
+
 The sample is a fixed, deterministic 300 cases (seeded per-case), so CI
 runs the same gauntlet every time; crank ``CASES`` up locally to hunt.
 """
@@ -32,10 +41,22 @@ from random import Random
 
 import pytest
 
-from repro import solve_script
+from repro import run_script, solve_script
+from repro.engine import Engine
+from repro.proof import check_proof
 from repro.smtlib import parse_script, script_to_smtlib
 from repro.smtlib.evaluate import FunctionInterpretation, evaluate
-from repro.smtlib.script import Assert, CheckSat, DeclareConst, DeclareFun, DeclareSort, Script, SetLogic
+from repro.smtlib.script import (
+    Assert,
+    CheckSat,
+    DeclareConst,
+    DeclareFun,
+    DeclareSort,
+    Pop,
+    Push,
+    Script,
+    SetLogic,
+)
 from repro.smtlib.sorts import BOOL, INT, REAL, uninterpreted_sort
 from repro.smtlib.terms import (
     TRUE,
@@ -49,6 +70,10 @@ from repro.smtlib.terms import (
 
 #: Per-fragment deterministic case counts: 120 + 100 + 80 = 300 in CI.
 CASES = {"lia": 120, "lra": 100, "uf": 80}
+
+#: Bounded seed subsets for the lazy and incremental certification
+#: replays (each replay solves the script several times over).
+REPLAYS = {"lia": 30, "lra": 15, "uf": 20}
 
 #: Box half-width for the numeric fragments.
 BOX = 4
@@ -200,10 +225,47 @@ def oracle_uf(script: Script, ground_terms: list[Term]) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def assert_certified(check) -> None:
+    """Every unsat verdict must carry a checker-accepted clause proof."""
+    assert check.proof is not None, "unsat answer must carry a proof"
+    verdict = check_proof(check.proof)
+    assert verdict.ok, f"proof rejected: {verdict.error}"
+
+
 def engine_verdict(script: Script) -> tuple[str, object]:
-    results = solve_script(script)
+    results = solve_script(script, produce_proofs=True)
     assert len(results) == 1
+    if results[0].answer == "unsat":
+        assert_certified(results[0])
     return results[0].answer, results[0]
+
+
+def lazy_verdict(script: Script) -> str:
+    """Solve with the theory hook only at full assignments; certify."""
+    engine = Engine(theory_eager=False, produce_proofs=True)
+    (check,) = engine.run(script).check_results
+    if check.answer == "unsat":
+        assert_certified(check)
+    return check.answer
+
+
+def incremental_replay_verdicts(script: Script) -> list[str]:
+    """Replay the script with its last assertion in a pushed frame:
+    check, pop (re-check the relaxed prefix), re-push and check again.
+    Certifies every unsat along the way; returns the three answers."""
+    commands = [c for c in script.commands if not isinstance(c, CheckSat)]
+    last = max(i for i, c in enumerate(commands) if isinstance(c, Assert))
+    replay = (
+        commands[:last]
+        + [Push(), commands[last], CheckSat()]
+        + [Pop(), CheckSat()]
+        + [Push(), commands[last], CheckSat()]
+    )
+    result = run_script(Script(tuple(replay)), produce_proofs=True)
+    for check in result.check_results:
+        if check.answer == "unsat":
+            assert_certified(check)
+    return result.answers
 
 
 def assert_model_validates(result) -> None:
@@ -261,3 +323,51 @@ def test_differential_uf(seed):
     if answer == "sat":
         assert_model_validates(result)
     assert_roundtrip_agrees(script, answer)
+
+
+# ---------------------------------------------------------------------------
+# Certification replays: lazy theory mode and incremental push/pop.
+# ---------------------------------------------------------------------------
+
+
+def _generate(fragment: str, seed: int) -> Script:
+    if fragment == "lia":
+        return generate_numeric(7919 * seed + 1, INT)[0]
+    if fragment == "lra":
+        return generate_numeric(7919 * seed + 2, REAL)[0]
+    return generate_uf(7919 * seed + 3)[0]
+
+
+def _replay_params():
+    return [
+        (fragment, seed)
+        for fragment, count in sorted(REPLAYS.items())
+        for seed in range(count)
+    ]
+
+
+@pytest.mark.parametrize("fragment,seed", _replay_params())
+def test_lazy_replay_agrees_and_certifies(fragment, seed):
+    script = _generate(fragment, seed)
+    eager, _ = engine_verdict(script)
+    assert lazy_verdict(script) == eager, (
+        f"{fragment}/{seed}: lazy theory mode flipped the verdict"
+    )
+
+
+@pytest.mark.parametrize("fragment,seed", _replay_params())
+def test_incremental_replay_agrees_and_certifies(fragment, seed):
+    script = _generate(fragment, seed)
+    answer, _ = engine_verdict(script)
+    full, relaxed, again = incremental_replay_verdicts(script)
+    assert full == answer, (
+        f"{fragment}/{seed}: pushed-frame replay answered {full}, whole-script {answer}"
+    )
+    assert again == answer, (
+        f"{fragment}/{seed}: re-pushed frame answered {again}, whole-script {answer}"
+    )
+    # Dropping the last assertion relaxes the script: unsat is monotone.
+    if relaxed == "unsat":
+        assert answer == "unsat", (
+            f"{fragment}/{seed}: relaxed prefix unsat but the full script {answer}"
+        )

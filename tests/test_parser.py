@@ -345,3 +345,70 @@ def test_malformed_commands_rejected():
         parse_script("(declare-fun f Int Int)")
     with pytest.raises(ParseError):
         parse_script("(push x)")
+
+
+# -- :named annotations and unsat-core commands ------------------------------
+
+
+def test_named_assert_parses_to_labelled_assert():
+    script = parse_script(
+        "(declare-const x Int) (assert (! (> x 0) :named pos))"
+    )
+    command = script.commands[-1]
+    assert isinstance(command, Assert)
+    assert command.name == "pos"
+    assert command.term == Apply(
+        ">", (Symbol("x", INT), Constant(0, INT)), BOOL
+    )
+
+
+def test_named_assert_accepts_quoted_symbols():
+    script = parse_script("(assert (! true :named |my lemma|))")
+    assert script.commands[-1].name == "my lemma"
+
+
+def test_named_label_becomes_a_bool_alias():
+    # SMT-LIB: the label is a fresh 0-ary Bool symbol aliasing the term,
+    # usable in later assertions.
+    script = parse_script(
+        "(declare-const p Bool) (assert (! p :named lbl)) (assert (not lbl))"
+    )
+    assert len(script.assertions()) == 2
+
+
+def test_named_label_must_be_fresh():
+    from repro.errors import SortError
+
+    with pytest.raises(SortError):
+        parse_script("(declare-const p Bool) (assert (! true :named p))")
+    with pytest.raises(SortError):
+        parse_script(
+            "(assert (! true :named a)) (assert (! false :named a))"
+        )
+
+
+def test_annotation_requires_exactly_one_named_attribute():
+    with pytest.raises(ParseError):
+        parse_script("(assert (! true))")
+    with pytest.raises(ParseError):
+        parse_script("(assert (! true :named))")
+    with pytest.raises(ParseError):
+        parse_script("(assert (! true :named a :named b))")
+    with pytest.raises(ParseError):
+        parse_script("(assert (! true :weight 1))")
+    with pytest.raises(ParseError):
+        parse_script("(assert (! true named a))")
+
+
+def test_annotation_outside_assert_rejected():
+    with pytest.raises(ParseError):
+        parse_script("(assert (and (! true :named a) true))")
+
+
+def test_get_unsat_core_parses():
+    from repro.smtlib import GetUnsatCore
+
+    script = parse_script("(get-unsat-core)")
+    assert isinstance(script.commands[0], GetUnsatCore)
+    with pytest.raises(ParseError):
+        parse_script("(get-unsat-core extra)")

@@ -104,3 +104,35 @@ def test_script_printing_one_command_per_line():
 def test_printed_text_reparses_identically():
     script = parse_script("(declare-const x Int) (assert (= x 7)) (check-sat)")
     assert parse_script(script_to_smtlib(script)) == script
+
+
+def test_named_assert_prints_annotation():
+    assert (
+        command_to_smtlib(Assert(bool_const(True), "lemma"))
+        == "(assert (! true :named lemma))"
+    )
+    # Labels needing quoting go through the symbol printer.
+    assert (
+        command_to_smtlib(Assert(bool_const(True), "my lemma"))
+        == "(assert (! true :named |my lemma|))"
+    )
+
+
+def test_get_unsat_core_prints():
+    from repro.smtlib import GetUnsatCore
+
+    assert command_to_smtlib(GetUnsatCore()) == "(get-unsat-core)"
+
+
+def test_named_assert_roundtrips():
+    source = (
+        "(declare-const x Int)\n"
+        "(assert (! (<= x 2) :named low))\n"
+        "(assert (! (>= x 5) :named |odd name|))\n"
+        "(get-unsat-core)\n"
+    )
+    script = parse_script(source)
+    printed = script_to_smtlib(script)
+    assert parse_script(printed) == script
+    assert "(assert (! (<= x 2) :named low))" in printed
+    assert "(assert (! (>= x 5) :named |odd name|))" in printed

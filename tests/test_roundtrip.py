@@ -5,6 +5,11 @@ fixpoint, the type checker accepts every term in it, and the engine's
 answers never contradict the ``(set-info :status ...)`` annotations —
 with the propositional/EUF/arithmetic scripts required to answer their
 annotated status *exactly* (no ``unknown`` cop-out).
+
+Scripts carrying ``(set-info :unsat-core (n1 n2 ...))`` annotations are
+additionally gated on their cores, the same way ``:status`` gates the
+answer: the annotation applies to the next ``check-sat``, whose
+``unsat_core`` must name exactly the annotated assertions.
 """
 
 from pathlib import Path
@@ -13,6 +18,7 @@ import pytest
 
 from repro import run_script
 from repro.smtlib import check_script, parse_script, script_to_smtlib
+from repro.smtlib.script import CheckSat, SetInfo
 
 CORPUS = sorted((Path(__file__).parent / "corpus").glob("*.smt2"))
 
@@ -29,6 +35,8 @@ DECIDED = {
     "lra_unsat",
     "lia_sat",
     "lia_unsat",
+    "unsat_core_lia",
+    "unsat_core_uf",
 }
 
 
@@ -74,3 +82,50 @@ def test_corpus_engine_matches_status(path):
                     f"{path.stem}: check-sat #{index} answered {check.answer},"
                     f" annotated {check.expected}"
                 )
+
+
+def expected_cores(script):
+    """Pair each ``(set-info :unsat-core ...)`` annotation with the index
+    of the ``check-sat`` it gates (the next one, like ``:status``)."""
+    expected = {}
+    pending = None
+    index = 0
+    for command in script.commands:
+        if isinstance(command, SetInfo) and command.keyword == ":unsat-core":
+            pending = tuple(command.value.strip("()").split())
+        elif isinstance(command, CheckSat):
+            if pending is not None:
+                expected[index] = pending
+                pending = None
+            index += 1
+    return expected
+
+
+ANNOTATED = [path for path in CORPUS if ":unsat-core" in path.read_text()]
+
+assert ANNOTATED, "corpus should carry :unsat-core annotated scripts"
+
+
+@pytest.mark.parametrize("path", ANNOTATED, ids=lambda p: p.stem)
+def test_corpus_engine_matches_unsat_core(path):
+    """Core gate: annotated scripts must report exactly the annotated
+    named-assertion core, both on the result object and through the
+    printable ``(get-unsat-core)`` output."""
+    script = parse_script(path.read_text())
+    expected = expected_cores(script)
+    assert expected, f"{path.stem}: annotation did not parse"
+    result = run_script(path.read_text())
+    for index, names in expected.items():
+        check = result.check_results[index]
+        assert check.answer == "unsat", (
+            f"{path.stem}: check-sat #{index} answered {check.answer}, "
+            "but carries an :unsat-core annotation"
+        )
+        assert check.unsat_core == names, (
+            f"{path.stem}: check-sat #{index} core {check.unsat_core}, "
+            f"annotated {names}"
+        )
+        rendered = "({})".format(" ".join(names))
+        assert rendered in result.output, (
+            f"{path.stem}: (get-unsat-core) never printed {rendered}"
+        )

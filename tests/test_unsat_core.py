@@ -1,0 +1,359 @@
+"""Unsat cores: ``(! ... :named ...)`` end-to-end and as properties.
+
+The deterministic tests drive the full script surface — named
+assertions, ``(set-option :produce-unsat-cores true)``,
+``(get-unsat-core)``, the documented error outputs — and the
+interaction with proofs (a core's negated selectors are the proof's
+conclusion).
+
+The property tests run seeded random QF_LIA scripts with named
+assertions over an unnamed background and check the semantic laws a
+core must satisfy:
+
+* **soundness** — the named assertions of the core, together with the
+  unnamed background, re-solve to ``unsat`` in a fresh engine;
+* **irrelevance** — removing any named assertion *outside* the core
+  keeps the script unsat (the core never hides a dependence);
+* **scoping** — under randomized ``push``/``pop``, a core only ever
+  mentions names from frames alive at its ``check-sat``.
+"""
+
+from random import Random
+
+import pytest
+
+from repro import run_script, solve_script
+from repro.proof import check_proof
+from repro.smtlib import parse_script, script_to_smtlib
+from repro.smtlib.script import (
+    Assert,
+    CheckSat,
+    DeclareConst,
+    Pop,
+    Push,
+    Script,
+    SetLogic,
+)
+from repro.smtlib.sorts import BOOL, INT
+from repro.smtlib.terms import Apply, Symbol, int_const
+
+X = Symbol("x", INT)
+Y = Symbol("y", INT)
+
+
+def bound(symbol, op, value):
+    return Apply(op, (symbol, int_const(value)), BOOL)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic end-to-end behaviour.
+# ---------------------------------------------------------------------------
+
+
+NAMED_LIA = """
+(set-logic QF_LIA)
+(set-option :produce-unsat-cores true)
+(declare-const x Int)
+(declare-const y Int)
+(assert (! (<= x 2) :named low))
+(assert (! (>= x 5) :named high))
+(assert (! (<= y 100) :named slack))
+(check-sat)
+(get-unsat-core)
+"""
+
+
+class TestEndToEnd:
+    def test_core_names_reported_in_assertion_order(self):
+        result = run_script(NAMED_LIA)
+        assert result.answers == ["unsat"]
+        assert result.output == ["unsat", "(low high)"]
+        assert result.check_results[0].unsat_core == ("low", "high")
+
+    def test_irrelevant_named_assertion_excluded(self):
+        (check,) = solve_script(NAMED_LIA)
+        assert "slack" not in check.unsat_core
+
+    def test_get_unsat_core_requires_the_option(self):
+        result = run_script(
+            "(declare-const p Bool)\n(assert (! p :named p0))\n"
+            "(assert (not p))\n(check-sat)\n(get-unsat-core)\n"
+        )
+        assert result.answers == ["unsat"]
+        assert result.output[0] == "unsat"
+        assert "unsat cores are not enabled" in result.output[1]
+
+    def test_get_unsat_core_requires_an_unsat_answer(self):
+        result = run_script(
+            "(set-option :produce-unsat-cores true)\n"
+            "(declare-const p Bool)\n(assert (! p :named p0))\n"
+            "(check-sat)\n(get-unsat-core)\n"
+        )
+        assert result.answers == ["sat"]
+        assert "not unsat" in result.output[1]
+
+    def test_get_unsat_core_before_any_check(self):
+        result = run_script(
+            "(set-option :produce-unsat-cores true)\n(get-unsat-core)\n"
+        )
+        assert "not unsat" in result.output[0]
+
+    def test_option_toggles_mid_script(self):
+        result = run_script(
+            "(declare-const p Bool)\n(assert (! p :named p0))\n"
+            "(assert (! (not p) :named p1))\n"
+            "(check-sat)\n(get-unsat-core)\n"
+            "(set-option :produce-unsat-cores true)\n"
+            "(check-sat)\n(get-unsat-core)\n"
+        )
+        assert result.answers == ["unsat", "unsat"]
+        assert "not enabled" in result.output[1]
+        assert result.output[3] == "(p0 p1)"
+
+    def test_engine_kwarg_enables_cores(self):
+        (check,) = solve_script(
+            "(declare-const p Bool)\n(assert (! p :named p0))\n"
+            "(assert (not p))\n(check-sat)\n",
+            produce_unsat_cores=True,
+        )
+        assert check.answer == "unsat" and check.unsat_core == ("p0",)
+
+    def test_unnamed_unsat_has_empty_core(self):
+        # The background alone is contradictory: the named core is empty.
+        (check,) = solve_script(
+            "(declare-const p Bool)\n(assert (! p :named p0))\n"
+            "(assert p)\n(assert (not p))\n(check-sat)\n",
+            produce_unsat_cores=True,
+        )
+        assert check.answer == "unsat" and check.unsat_core == ()
+
+    def test_named_false_is_its_own_core(self):
+        (check,) = solve_script(
+            "(assert (! false :named boom))\n(check-sat)\n",
+            produce_unsat_cores=True,
+        )
+        assert check.answer == "unsat" and check.unsat_core == ("boom",)
+
+    def test_unnamed_false_has_empty_core(self):
+        (check,) = solve_script(
+            "(assert (! true :named ok))\n(assert false)\n(check-sat)\n",
+            produce_unsat_cores=True,
+        )
+        assert check.answer == "unsat" and check.unsat_core == ()
+
+    def test_label_aliases_the_term_in_later_assertions(self):
+        # SMT-LIB: a :named label becomes a Bool symbol for the term.
+        (check,) = solve_script(
+            "(declare-const p Bool)\n(declare-const q Bool)\n"
+            "(assert (! (and p q) :named both))\n(assert (not both))\n"
+            "(check-sat)\n"
+        )
+        assert check.answer == "unsat"
+
+    def test_cores_without_proofs_and_vice_versa(self):
+        (with_cores,) = solve_script(NAMED_LIA)
+        assert with_cores.unsat_core is not None and with_cores.proof is None
+        (with_proofs,) = solve_script(
+            "(declare-const p Bool)\n(assert p)\n(assert (not p))\n(check-sat)\n",
+            produce_proofs=True,
+        )
+        assert with_proofs.proof is not None and with_proofs.unsat_core is None
+
+    def test_core_selectors_are_the_proof_conclusion(self):
+        (check,) = solve_script(
+            NAMED_LIA, produce_proofs=True, produce_unsat_cores=True
+        )
+        assert check.answer == "unsat"
+        assert check.unsat_core == ("low", "high")
+        assert check.proof is not None and check_proof(check.proof).ok
+        # One negated selector per failed assumption; the named core is
+        # a subset of those (frame selectors may fail alongside).
+        assert len(check.proof.conclusion) >= len(check.unsat_core)
+        assert all(lit < 0 for lit in check.proof.conclusion)
+
+
+# ---------------------------------------------------------------------------
+# Random named scripts: the semantic core laws.
+# ---------------------------------------------------------------------------
+
+
+def random_named_script(seed):
+    """A QF_LIA script over boxed x, y: unnamed box background plus 3-6
+    named linear facts.  Returns (script, named) with ``named`` the
+    label → Assert map."""
+    rng = Random(seed)
+    commands = [
+        SetLogic("QF_LIA"),
+        DeclareConst("x", INT),
+        DeclareConst("y", INT),
+        Assert(bound(X, "<=", 8)),
+        Assert(bound(X, ">=", -8)),
+        Assert(bound(Y, "<=", 8)),
+        Assert(bound(Y, ">=", -8)),
+    ]
+    named = {}
+    total = Apply("+", (X, Y), INT)
+    for index in range(rng.randint(3, 6)):
+        subject = rng.choice([X, Y, total])
+        op = rng.choice(["<=", ">=", "<", ">", "="])
+        term = Apply(op, (subject, int_const(rng.randint(-9, 9))), BOOL)
+        label = f"a{index}"
+        command = Assert(term, label)
+        named[label] = command
+        commands.append(command)
+    commands.append(CheckSat())
+    return Script(tuple(commands)), named
+
+
+def rebuild(script, named, keep):
+    """The same script with only the named assertions in ``keep``."""
+    commands = [
+        command
+        for command in script.commands
+        if not (isinstance(command, Assert) and command.name is not None)
+        or command.name in keep
+    ]
+    return Script(tuple(commands))
+
+
+UNSAT_CASES = []
+for _seed in range(120):
+    _script, _named = random_named_script(9973 * _seed)
+    (_check,) = solve_script(_script, produce_unsat_cores=True)
+    if _check.answer == "unsat":
+        UNSAT_CASES.append((_seed, _script, _named, _check.unsat_core))
+
+assert len(UNSAT_CASES) >= 25, "generator should produce a healthy unsat rate"
+
+
+@pytest.mark.parametrize(
+    "seed,script,named,core", UNSAT_CASES, ids=lambda value: str(value)[:24]
+)
+def test_core_re_solves_unsat(seed, script, named, core):
+    """Soundness: the core's named assertions plus the unnamed
+    background are already unsat in a fresh engine."""
+    assert core is not None
+    reduced = rebuild(script, named, set(core))
+    (check,) = solve_script(reduced)
+    assert check.answer == "unsat", (
+        f"seed {seed}: core {core} does not re-solve unsat"
+    )
+
+
+@pytest.mark.parametrize(
+    "seed,script,named,core", UNSAT_CASES, ids=lambda value: str(value)[:24]
+)
+def test_removing_non_core_assertions_keeps_unsat(seed, script, named, core):
+    """Irrelevance: dropping any single named assertion outside the core
+    cannot flip the verdict."""
+    for label in named:
+        if label in core:
+            continue
+        reduced = rebuild(script, named, set(named) - {label})
+        (check,) = solve_script(reduced, produce_unsat_cores=True)
+        assert check.answer == "unsat", (
+            f"seed {seed}: dropping non-core {label} flipped the verdict"
+        )
+        assert set(check.unsat_core) <= set(named) - {label}
+
+
+@pytest.mark.parametrize(
+    "seed,script,named,core", UNSAT_CASES[:10], ids=lambda value: str(value)[:24]
+)
+def test_core_scripts_roundtrip_through_printer(seed, script, named, core):
+    """parse(print(s)) preserves the :named labels, so the reprinted
+    script yields the same core.  (Structural equality does not hold for
+    hand-built scripts — a negative ``Constant`` prints as the unary
+    ``(- n)`` — so the law here is label and verdict preservation.)"""
+    reparsed = parse_script(script_to_smtlib(script))
+    labels = [
+        command.name
+        for command in reparsed.commands
+        if isinstance(command, Assert) and command.name is not None
+    ]
+    assert labels == list(named)
+    (check,) = solve_script(reparsed, produce_unsat_cores=True)
+    assert check.answer == "unsat" and check.unsat_core == core
+
+
+# ---------------------------------------------------------------------------
+# Randomized push/pop: cores stay scoped to live frames.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_cores_scoped_to_live_frames(seed):
+    rng = Random(31337 + seed)
+    commands = [SetLogic("QF_LIA"), DeclareConst("x", INT)]
+    live = [[]]  # stack of name lists, one per frame
+    expected_live = []  # per check-sat: the set of live names
+    counter = 0
+    for _ in range(rng.randint(8, 20)):
+        action = rng.random()
+        if action < 0.35:
+            op = rng.choice(["<=", ">="])
+            label = f"n{counter}"
+            counter += 1
+            commands.append(Assert(bound(X, op, rng.randint(-4, 4)), label))
+            live[-1].append(label)
+        elif action < 0.55:
+            commands.append(Push())
+            live.append([])
+        elif action < 0.7 and len(live) > 1:
+            commands.append(Pop())
+            live.pop()
+        else:
+            commands.append(CheckSat())
+            expected_live.append({name for frame in live for name in frame})
+    commands.append(CheckSat())
+    expected_live.append({name for frame in live for name in frame})
+
+    checks = solve_script(
+        Script(tuple(commands)), produce_proofs=True, produce_unsat_cores=True
+    )
+    assert len(checks) == len(expected_live)
+    for check, live_names in zip(checks, expected_live):
+        assert check.answer in ("sat", "unsat")
+        if check.answer != "unsat":
+            continue
+        assert check.unsat_core is not None
+        assert set(check.unsat_core) <= live_names, (
+            f"seed {seed}: core {check.unsat_core} leaks popped names"
+        )
+        assert check.proof is not None
+        verdict = check_proof(check.proof)
+        assert verdict.ok, f"seed {seed}: {verdict.error}"
+        # The core alone (no background here beyond bounds on x) must
+        # re-solve unsat in a fresh engine.
+        refit = [SetLogic("QF_LIA"), DeclareConst("x", INT)]
+        by_name = {
+            command.name: command
+            for command in commands
+            if isinstance(command, Assert) and command.name is not None
+        }
+        refit.extend(Assert(by_name[name].term) for name in check.unsat_core)
+        refit.append(CheckSat())
+        (again,) = solve_script(Script(tuple(refit)))
+        assert again.answer == "unsat", (
+            f"seed {seed}: scoped core {check.unsat_core} not unsat alone"
+        )
+
+
+def test_popped_names_can_be_reused():
+    # A name lives with its frame: after pop the label is free again.
+    source = """
+(set-option :produce-unsat-cores true)
+(declare-const x Int)
+(push 1)
+(assert (! (<= x 0) :named b))
+(check-sat)
+(pop 1)
+(push 1)
+(assert (! (>= x 1) :named b))
+(assert (! (<= x 0) :named c))
+(check-sat)
+(get-unsat-core)
+"""
+    result = run_script(source)
+    assert result.answers == ["sat", "unsat"]
+    assert result.output[-1] == "(b c)"
