@@ -42,7 +42,7 @@ Answer semantics stay *sound*:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..errors import EvaluationError, SolverError
 from ..obs import Observability
@@ -84,6 +84,7 @@ from ..smtlib.sorts import BOOL, Sort
 from ..smtlib.terms import (
     FALSE,
     TRUE,
+    Apply,
     Constant,
     Symbol,
     Term,
@@ -92,6 +93,9 @@ from ..smtlib.terms import (
 )
 from ..theory import (
     ArithTheory,
+    ArraysState,
+    ArraysTheory,
+    BvBlaster,
     EufTheory,
     SortValueAllocator,
     Theory,
@@ -124,11 +128,13 @@ class _TheorySync(TheoryHook):
         var_to_atom: dict[int, Term],
         atom_vars: dict[Term, int],
         events: Optional[EventLog] = None,
+        encode_atom: Optional[Callable[[Term], int]] = None,
     ) -> None:
         self._theory = theory
         self._var_to_atom = var_to_atom
         self._atom_vars = atom_vars
         self._events = events
+        self._encode_atom = encode_atom
         self._synced: list[int] = []
 
     def on_check(self, solver: Solver, final: bool) -> Iterable[Sequence[int]]:
@@ -160,6 +166,10 @@ class _TheorySync(TheoryHook):
                     break
         if conflict is None and final:
             conflict = self._theory.check()
+            if conflict is None:
+                # Lazy instantiation: valid clauses the theory wants the
+                # SAT core to case-split on (new atoms encode on the fly).
+                return self._lemma_clauses()
         if conflict is None:
             return ()
         clause = []
@@ -176,6 +186,31 @@ class _TheorySync(TheoryHook):
         # records the lemma's provenance (a plain list works identically
         # when no proof log is attached).
         return (TheoryLemma(clause, source=conflict.source or self._theory.name),)
+
+    def _lemma_clauses(self) -> list[TheoryLemma]:
+        lemmas = self._theory.pending_lemmas()
+        if not lemmas:
+            return []
+        clauses: list[TheoryLemma] = []
+        for lemma in lemmas:
+            clause = []
+            for atom, positive in lemma.literals:
+                var = self._atom_vars.get(atom)
+                if var is None:
+                    assert self._encode_atom is not None, (
+                        "theory emitted a lemma over a new atom but the "
+                        "engine provided no encoder"
+                    )
+                    var = self._encode_atom(atom)
+                    if self._theory.owns_atom(atom):
+                        # Future syncs must route the new atom's trail
+                        # literals back to the theory.
+                        self._var_to_atom[var] = atom
+                clause.append(var if positive else -var)
+            clauses.append(
+                TheoryLemma(clause, source=lemma.source or self._theory.name)
+            )
+        return clauses
 
 
 class Engine:
@@ -223,6 +258,12 @@ class Engine:
         self._solver = Solver()
         self._solver.events = self._obs.events
         self._registry = AtomRegistry()
+        # The blaster and the array-lemma state outlive individual checks:
+        # blasted circuits are memoized on hash-consed terms, and emitted
+        # case-split lemmas are permanent clauses that must not re-ship.
+        self._bv = BvBlaster()
+        self._arrays_state = ArraysState()
+        self._array_atom_memo: dict[Term, bool] = {}
         self._clauses_shipped = 0
         self._guard_clauses = 0
         self._retired_selectors = 0
@@ -458,6 +499,15 @@ class Engine:
                     # _check_sat before the solver ever runs.
                     frame.atom_lists.append(())
                     continue
+                with trace_span("blast", merge=True):
+                    term = self._bv.rewrite(term)
+                if term is TRUE:
+                    # The whole assertion folded away during blasting.
+                    frame.atom_lists.append(())
+                    continue
+                # A blast to FALSE still encodes: the check already passed
+                # the trivial-FALSE gate, so unsatisfiability must surface
+                # through the solver (keeping the proof machinery uniform).
                 nnf = to_nnf(term)
                 root = self._registry.encode(nnf)
                 frame.atom_lists.append(tuple(skeleton_atoms(nnf)))
@@ -477,6 +527,33 @@ class Engine:
                 self._add_clause((-guard, root))
         self._solver.ensure_vars(self._registry.num_vars)
         return (new_roots, self._registry.num_vars - vars_before, new_clauses)
+
+    def _encode_lemma_atom(self, atom: Term) -> int:
+        """Allocate a SAT variable for an atom a theory lemma introduced
+        mid-search.  Lemma atoms are always leaves (equalities, predicate
+        applications), so encoding allocates a variable and no gate
+        clauses; the assertion guards that invariant."""
+        var = self._registry.encode(atom)
+        gates = self._registry.drain_clauses()
+        assert not gates, "theory lemmas must range over atomic literals"
+        self._solver.ensure_vars(self._registry.num_vars)
+        return var
+
+    def _mentions_arrays(self, atom: Term) -> bool:
+        """True when the atom contains array structure (memoized)."""
+        cached = self._array_atom_memo.get(atom)
+        if cached is None:
+            cached = any(
+                node.sort.name == "Array"
+                or (
+                    isinstance(node, Apply)
+                    and not node.indices
+                    and node.op in ("select", "store")
+                )
+                for node in atom.walk()
+            )
+            self._array_atom_memo[atom] = cached
+        return cached
 
     # -- the check-sat pipeline ---------------------------------------------
 
@@ -524,6 +601,10 @@ class Engine:
         # Theory plugins are per-check; drop last check's sources so the
         # snapshot delta reports this check's plugins from zero.
         metrics.unregister_prefix("theory.")
+        # The blaster is engine-lived (its memo must survive push/pop), so
+        # it re-registers before the snapshot: the delta then reports this
+        # check's blasting increments, like any persistent source.
+        metrics.register_source("theory.bv", lambda: self._bv.stats)
         before = metrics.snapshot()
         # Increment after the snapshot so each check's delta shows
         # ``engine.checks == 1`` rather than a stale zero.
@@ -578,10 +659,18 @@ class Engine:
         )
         # Theory dispatch: arithmetic first (numeric comparisons are
         # never uninterpreted structure), then congruence closure; the
-        # composite routes each atom to the first plugin owning it.
-        theory: Optional[Theory] = TheoryComposite(
-            (ArithTheory(), EufTheory(uninterpreted=uninterpreted))
-        )
+        # composite routes each atom to the first plugin owning it.  When
+        # any live atom carries array structure the congruence plugin is
+        # the arrays extension (one e-graph subsuming EUF) — a separate
+        # plugin would not see the index equalities closure needs.
+        closure: Theory
+        if any(self._mentions_arrays(atom) for atom in active_atoms):
+            closure = ArraysTheory(
+                uninterpreted=uninterpreted, state=self._arrays_state
+            )
+        else:
+            closure = EufTheory(uninterpreted=uninterpreted)
+        theory: Optional[Theory] = TheoryComposite((ArithTheory(), closure))
         owned: list[Term] = []
         unowned: list[Term] = []
         for atom in active_atoms:
@@ -595,7 +684,11 @@ class Engine:
             atom_vars = self._registry.atom_vars
             var_to_atom = {atom_vars[atom]: atom for atom in owned}
             self._solver.theory = _TheorySync(
-                theory, var_to_atom, atom_vars, self._obs.events
+                theory,
+                var_to_atom,
+                atom_vars,
+                self._obs.events,
+                encode_atom=self._encode_lemma_atom,
             )
             self._solver.theory_eager = self._theory_eager
         else:
@@ -744,6 +837,25 @@ class Engine:
             if isinstance(atom, Symbol) and atom.sort == BOOL:
                 model[atom.name] = bool_const(sat_model[atom_vars[atom]])
         allocator = SortValueAllocator()
+        free: dict[str, Sort] = {}
+        for frame in self._frames:
+            for term in frame.prepared:
+                free.update(term.free_symbols())
+        # Bit-vector symbols live in the model as their blasted bits;
+        # decode them to word values (and drop the bits) before anything
+        # defaults them.  Reserving the decoded constants keeps values
+        # minted for other symbols of the same sort distinct from them.
+        declared = {
+            name for frame in self._frames for name in frame.consts
+        }
+        decoded: dict[str, Constant] = {}
+        for name, value in self._bv.decode(model).items():
+            if name in free or name in declared:
+                decoded[name] = value
+                allocator.reserve(value)
+        for name in list(model):
+            if self._bv.is_bit(name):
+                del model[name]
         fun_interps: dict[str, FunctionInterpretation] = {}
         if theory is not None:
             theory_model = theory.model(allocator)
@@ -752,6 +864,10 @@ class Engine:
                 return None, {}, reason
             model.update(theory_model.values)
             fun_interps = theory_model.functions
+        # Decoded words override any congruence-class value for the same
+        # symbol: the bits are hard SAT constraints, and validation will
+        # catch a genuine circuit/e-graph disagreement.
+        model.update(decoded)
         # A declared function whose every occurrence simplified away (a
         # trivial atom such as (= (f a) (f a))) never reaches the theory,
         # yet validation evaluates the *prepared* assertions, which still
@@ -767,12 +883,35 @@ class Engine:
                     if default is None:
                         return None, {}, "model-construction-failed"
                 fun_interps[name] = FunctionInterpretation({}, default)
-        free: dict[str, Sort] = {}
-        for frame in self._frames:
-            for term in frame.prepared:
-                free.update(term.free_symbols())
+        # The builtin ``select`` can drop out the same way (every read
+        # sat inside a trivial atom): validation still evaluates it, so
+        # back it with an unconstrained graph over the element sort.
+        if "select" not in fun_interps:
+            for frame in self._frames:
+                for term in frame.prepared:
+                    for node in term.walk():
+                        if (
+                            isinstance(node, Apply)
+                            and node.op == "select"
+                            and not node.indices
+                        ):
+                            if node.sort == BOOL:
+                                select_default: Optional[Constant] = FALSE
+                            else:
+                                select_default = allocator.fresh(node.sort)
+                            if select_default is not None:
+                                fun_interps["select"] = FunctionInterpretation(
+                                    {}, select_default
+                                )
+                            break
+                    if "select" in fun_interps:
+                        break
+                if "select" in fun_interps:
+                    break
         for name, sort in free.items():
             if name in model:
+                continue
+            if self._bv.is_bit(name):
                 continue
             if sort == BOOL:
                 model[name] = FALSE

@@ -848,6 +848,7 @@ class Solver:
             var = self._decide()
             if var == 0:
                 if self.theory is not None:
+                    num_vars_before = self._num_vars
                     conflict = self._theory_check(final=True)
                     if self._unsat:
                         self._failed_assumptions = ()
@@ -859,6 +860,8 @@ class Solver:
                         continue
                     if self._qhead < len(self._trail):
                         continue  # lemma propagations must settle first
+                    if self._num_vars > num_vars_before:
+                        continue  # lemmas introduced fresh variables: decide them
                 self._model = [False] + [
                     self._values[v] == 1 for v in range(1, self._num_vars + 1)
                 ]

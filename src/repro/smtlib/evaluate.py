@@ -27,7 +27,16 @@ from fractions import Fraction
 from typing import Callable, Mapping, Optional
 
 from ..errors import EvaluationError
-from .sorts import INT, REAL, STRING, Sort, bitvec_sort, is_bitvec, is_finite_field
+from .sorts import (
+    INT,
+    REAL,
+    STRING,
+    Sort,
+    bitvec_sort,
+    is_array,
+    is_bitvec,
+    is_finite_field,
+)
 from .terms import (
     FALSE,
     TRUE,
@@ -393,6 +402,156 @@ def fold_apply(
 
 
 # ---------------------------------------------------------------------------
+# Array values.
+# ---------------------------------------------------------------------------
+
+
+class ArrayValue:
+    """The value a ``store`` chain denotes: an opaque base-array constant
+    plus a finite map of updated indices.
+
+    The evaluator keeps these *normalized* against the model's ``select``
+    graph — an update that merely restates what the base already reads is
+    dropped, and chains over the same base flatten to one map — so
+    structural equality of two values coincides with extensional equality
+    relative to the model.  That is what lets ``=`` over array constants
+    fold soundly during model validation.
+    """
+
+    __slots__ = ("base", "updates", "_hash")
+
+    def __init__(
+        self, base: Constant, updates: Mapping[Constant, Constant]
+    ) -> None:
+        self.base = base
+        self.updates: dict[Constant, Constant] = dict(updates)
+        self._hash = hash((base, frozenset(self.updates.items())))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (
+            isinstance(other, ArrayValue)
+            and self.base is other.base
+            and self.updates == other.updates
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayValue(base={self.base!r}, {len(self.updates)} updates)"
+
+
+def _array_parts(array: Constant) -> tuple[Constant, dict[Constant, Constant]]:
+    value = array.value
+    if isinstance(value, ArrayValue):
+        return value.base, value.updates
+    return array, {}
+
+
+def _base_read(
+    base: Constant,
+    index: Constant,
+    funs: Optional[Mapping[str, "FunctionInterpretation"]],
+) -> Optional[Constant]:
+    if funs is not None:
+        interpretation = funs.get("select")
+        if interpretation is not None:
+            return interpretation((base, index))
+    return None
+
+
+def _array_equal(
+    lhs: Constant,
+    rhs: Constant,
+    funs: Optional[Mapping[str, "FunctionInterpretation"]],
+) -> Optional[bool]:
+    """Extensional equality of two array constants, relative to the
+    model's ``select`` graph; ``None`` when no graph is available and the
+    values are not structurally identical."""
+    if lhs is rhs:
+        return True
+    base_l, updates_l = _array_parts(lhs)
+    base_r, updates_r = _array_parts(rhs)
+    if base_l is base_r and updates_l == updates_r:
+        return True
+    interpretation = funs.get("select") if funs is not None else None
+    if interpretation is None:
+        return None
+    # Outside the finite key set below both rows read the graph default,
+    # so comparing on it decides extensional equality exactly.
+    keys = set(updates_l) | set(updates_r)
+    for entry in interpretation.entries:
+        if len(entry) == 2 and (entry[0] is base_l or entry[0] is base_r):
+            keys.add(entry[1])
+    for key in keys:
+        row_l = updates_l.get(key)
+        if row_l is None:
+            row_l = interpretation((base_l, key))
+        row_r = updates_r.get(key)
+        if row_r is None:
+            row_r = interpretation((base_r, key))
+        if row_l is not row_r:
+            return False
+    return True
+
+
+def _fold_array_cmp(
+    op: str,
+    args: tuple[Constant, ...],
+    funs: Optional[Mapping[str, "FunctionInterpretation"]],
+) -> Constant:
+    """``=``/``distinct`` over array constants, extensionally."""
+    if op == "=":
+        for other in args[1:]:
+            verdict = _array_equal(args[0], other, funs)
+            if verdict is None:
+                raise EvaluationError("cannot compare array values")
+            if not verdict:
+                return FALSE
+        return TRUE
+    for position, lhs in enumerate(args):
+        for rhs in args[position + 1 :]:
+            verdict = _array_equal(lhs, rhs, funs)
+            if verdict is None:
+                raise EvaluationError("cannot compare array values")
+            if verdict:
+                return FALSE
+    return TRUE
+
+
+def _fold_array(
+    op: str,
+    args: tuple[Constant, ...],
+    sort: Sort,
+    funs: Optional[Mapping[str, "FunctionInterpretation"]],
+) -> Optional[Constant]:
+    """Evaluate ``select``/``store`` with real array semantics.
+
+    ``store`` builds (and normalizes) an :class:`ArrayValue`; ``select``
+    resolves through the update map, consulting the model's ``select``
+    graph only for the opaque base.  Returns ``None`` when a base read is
+    needed but no ``select`` interpretation is available."""
+    if op == "select" and len(args) == 2:
+        base, updates = _array_parts(args[0])
+        hit = updates.get(args[1])
+        if hit is not None:
+            return hit
+        return _base_read(base, args[1], funs)
+    if op == "store" and len(args) == 3:
+        array, index, value = args
+        base, updates = _array_parts(array)
+        updates = dict(updates)
+        if _base_read(base, index, funs) is value:
+            updates.pop(index, None)
+        else:
+            updates[index] = value
+        if not updates:
+            return base
+        return Constant(ArrayValue(base, updates), sort)
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Uninterpreted-function interpretations.
 # ---------------------------------------------------------------------------
 
@@ -498,6 +657,19 @@ def _evaluate(
         for arg in term.args:
             evaluated.append(_evaluate(arg, env, funs))
         args = tuple(evaluated)
+        if op in ("select", "store") and not term.indices:
+            # Array semantics come before any function graph: a store
+            # chain denotes a concrete update map, never a free function.
+            result = _fold_array(op, args, term.sort, funs)
+            if result is not None:
+                return result
+        if (
+            op in ("=", "distinct")
+            and not term.indices
+            and args
+            and is_array(args[0].sort)
+        ):
+            return _fold_array_cmp(op, args, funs)
         if funs is not None and not term.indices:
             interpretation = funs.get(op)
             if interpretation is not None:
@@ -529,5 +701,6 @@ __all__ = [
     "evaluate_value",
     "euclidean_div",
     "euclidean_mod",
+    "ArrayValue",
     "FunctionInterpretation",
 ]

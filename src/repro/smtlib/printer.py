@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+from .evaluate import ArrayValue
 from .lexer import quote_identifier
 from .sorts import BOOL, INT, REAL, STRING, Sort, is_bitvec
 from .terms import Apply, Constant, Let, Quantifier, Symbol, Term
@@ -67,6 +68,17 @@ def _decimal_text(value: Fraction) -> str:
 
 def constant_to_smtlib(constant: Constant) -> str:
     sort, value = constant.sort, constant.value
+    if isinstance(value, ArrayValue):
+        # Evaluated array values print as a store chain over their base.
+        text = constant_to_smtlib(value.base)
+        for index, element in sorted(
+            value.updates.items(), key=lambda item: constant_to_smtlib(item[0])
+        ):
+            text = (
+                f"(store {text} {constant_to_smtlib(index)}"
+                f" {constant_to_smtlib(element)})"
+            )
+        return text
     if constant.qualifier:
         return f"(as {symbol_to_smtlib(constant.qualifier)} {sort.to_smtlib()})"
     if sort == BOOL:

@@ -196,6 +196,11 @@ def is_finite_field(sort: Sort) -> bool:
     return sort.name == "FiniteField"
 
 
+def is_array(sort: Sort) -> bool:
+    """True for ``(Array index value)``."""
+    return sort.name == "Array"
+
+
 def is_container(sort: Sort) -> bool:
     """True for the parametric container sorts (Seq/Set/Bag/Array/Tuple)."""
     return sort.name in _CONTAINER_NAMES
@@ -252,6 +257,7 @@ __all__ = [
     "is_numeric",
     "is_bitvec",
     "is_finite_field",
+    "is_array",
     "is_container",
     "is_builtin",
     "parse_sort_sexpr",

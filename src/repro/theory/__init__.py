@@ -3,8 +3,9 @@
 * :mod:`repro.theory.core` — the :class:`Theory` interface every plugin
   implements (``assert_literal`` / ``check`` / ``explain``-via-conflicts /
   ``push`` / ``pop`` / ``model``), the :class:`TheoryConflict` explanation
-  shape, and the :class:`SortValueAllocator` that mints pairwise-distinct
-  model values per sort.
+  shape, the :class:`TheoryClause` lazy-lemma channel, and the
+  :class:`SortValueAllocator` that mints pairwise-distinct model values
+  per sort.
 * :mod:`repro.theory.euf` — the first plugin: congruence closure over the
   hash-consed DAG (union-find with a proof forest, congruence table keyed
   on interned children, disequality and distinguished-constant tracking),
@@ -13,21 +14,34 @@
   arithmetic (QF_LRA/QF_LIA) by Dutertre–de Moura dual simplex over
   δ-rationals, with Bland's-rule pivoting, minimal bound-clash and row
   explanations, and budgeted branch-and-bound for integer solutions.
+* :mod:`repro.theory.arrays` — the third plugin: extensional arrays
+  (QF_AX-style ``select``/``store``) as a congruence-closure *extension*
+  — one e-graph shared with EUF, read-over-write axioms instantiated
+  lazily, symbolic index case splits shipped to the SAT core as
+  :class:`~repro.theory.core.TheoryClause` lemmas.
+* :mod:`repro.theory.bv` — not a lazy plugin but the *eager* path:
+  :class:`~repro.theory.bv.BvBlaster` lowers QF_BV atoms to boolean
+  circuits before encoding, so bit-vector reasoning rides the plain
+  CDCL/proof pipeline.
 * :class:`~repro.theory.core.TheoryComposite` — the dispatcher: routes
-  each atom to the first plugin owning it (arithmetic before EUF),
-  forwards checkpoints to all plugins in lockstep, and merges their
-  models/statistics, so the engine keeps talking to exactly one
+  each atom to the first plugin owning it (arithmetic before congruence
+  closure), forwards checkpoints to all plugins in lockstep, and merges
+  their models/statistics, so the engine keeps talking to exactly one
   :class:`Theory`.
 
 The SAT core (:mod:`repro.sat`) knows nothing about terms and theories;
 the engine (:mod:`repro.engine`) adapts a :class:`Theory` into a
 :class:`repro.sat.TheoryHook` by mapping trail literals back to atoms.
+See ``docs/THEORIES.md`` for the plugin-author contract.
 """
 
 from .arith import ArithTheory, DeltaRational
+from .arrays import ArraysState, ArraysTheory
+from .bv import BvBlaster
 from .core import (
     SortValueAllocator,
     Theory,
+    TheoryClause,
     TheoryComposite,
     TheoryConflict,
     TheoryModel,
@@ -37,10 +51,14 @@ from .euf import EufTheory
 __all__ = [
     "Theory",
     "TheoryConflict",
+    "TheoryClause",
     "TheoryModel",
     "TheoryComposite",
     "SortValueAllocator",
     "EufTheory",
     "ArithTheory",
+    "ArraysTheory",
+    "ArraysState",
+    "BvBlaster",
     "DeltaRational",
 ]

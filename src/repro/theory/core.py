@@ -76,6 +76,28 @@ class TheoryConflict:
         object.__setattr__(self, "literals", tuple(self.literals))
 
 
+@dataclass(frozen=True)
+class TheoryClause:
+    """A valid clause a theory asks the engine to add to the SAT core.
+
+    Lazy instantiation (the array axioms, say) sometimes needs a
+    *case split* the current assignment does not determine — ``i = j``
+    versus ``i ≠ j`` for a symbolic read over a write.  A
+    :class:`TheoryConflict` cannot express that (its literals must all be
+    asserted); a :class:`TheoryClause` can: its literals are ``(atom,
+    positive)`` pairs whose disjunction is **valid in the theory**, so the
+    engine may add it permanently (it survives ``pop``) and let the SAT
+    core branch.  Atoms new to the solver are encoded on the fly.
+    ``source`` names the emitting plugin for proof/event provenance.
+    """
+
+    literals: tuple[tuple[Term, bool], ...]
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "literals", tuple(self.literals))
+
+
 @dataclass
 class TheoryModel:
     """Concrete theory assignment: symbol values plus interpretations for
@@ -133,6 +155,15 @@ class Theory(ABC):
         when :meth:`model` returns ``None``.  Default: ``None`` (the
         theory is complete for its fragment)."""
         return None
+
+    def pending_lemmas(self) -> tuple[TheoryClause, ...]:
+        """Valid clauses queued since the last call (lazy instantiation).
+
+        Drained by the engine after a conflict-free :meth:`check`; each
+        clause is added to the SAT core permanently and the search
+        resumes, so instantiation converges over repeated final checks.
+        Default: no lemmas (most theories propagate eagerly)."""
+        return ()
 
     def register_metrics(self, registry: "MetricsRegistry") -> None:
         """Absorb this plugin's counters into a metrics registry under
@@ -244,6 +275,12 @@ class TheoryComposite(Theory):
                 return reason
         return None
 
+    def pending_lemmas(self) -> tuple[TheoryClause, ...]:
+        lemmas: list[TheoryClause] = []
+        for plugin in self._plugins:
+            lemmas.extend(plugin.pending_lemmas())
+        return tuple(lemmas)
+
     def register_metrics(self, registry: "MetricsRegistry") -> None:
         for plugin in self._plugins:
             plugin.register_metrics(registry)
@@ -318,6 +355,7 @@ class SortValueAllocator:
 __all__ = [
     "Theory",
     "TheoryConflict",
+    "TheoryClause",
     "TheoryModel",
     "TheoryComposite",
     "SortValueAllocator",

@@ -387,31 +387,57 @@ class EufTheory(Theory):
         # The closure is maintained eagerly, so the verdict is immediate.
         return self._conflict
 
+    def _model_repair(
+        self, classes: dict[Term, list[Term]]
+    ) -> tuple[dict[Term, Term], tuple[tuple[Term, Term, Term], ...]]:
+        """Hook for subclasses to adjust model construction.
+
+        Returns ``(class_map, select_rows)``: classes mapped to a common
+        root share one model value (instead of the default one-value-per-
+        class assignment), and every ``(array_rep, index_rep, value_rep)``
+        row is materialised as a ``select`` graph entry.  Pure EUF needs
+        neither — distinctness is always sound here."""
+        return {}, ()
+
     def model(self, allocator: SortValueAllocator) -> Optional[TheoryModel]:
         """Assign every class a value: its distinguished constant when it
         has one, otherwise a fresh value distinct from every other class
         of the sort.  Distinctness is always sound for EUF — classes are
-        merged exactly when equality is forced."""
+        merged exactly when equality is forced — but subclasses with
+        stronger semantics (arrays) can merge values via
+        :meth:`_model_repair`."""
         if self._conflict is not None:
             return None
         classes: dict[Term, list[Term]] = {}
         for term in self._rank:
             classes.setdefault(self.find(term), []).append(term)
+        class_map, select_rows = self._model_repair(classes)
+        group_constant: dict[Term, Constant] = {}
         for representative in classes:
             constant = self._const.get(representative)
             if constant is not None:
                 allocator.reserve(constant)
+                group_constant[class_map.get(representative, representative)] = constant
         values: dict[Term, Constant] = {}
+        group_value: dict[Term, Constant] = {}
         for representative in classes:
-            constant = self._const.get(representative)
+            root = class_map.get(representative, representative)
+            constant = group_value.get(root)
             if constant is None:
-                constant = allocator.fresh(representative.sort)
+                constant = group_constant.get(root)
                 if constant is None:
-                    return None  # finite sort exhausted: no distinct model
+                    constant = allocator.fresh(representative.sort)
+                    if constant is None:
+                        return None  # finite sort exhausted: no distinct model
+                group_value[root] = constant
             values[representative] = constant
         model = TheoryModel()
         functions: dict[str, dict[tuple[Constant, ...], Constant]] = {}
         results: dict[str, Constant] = {}
+        for array_rep, index_rep, value_rep in select_rows:
+            key = (values[array_rep], values[index_rep])
+            functions.setdefault("select", {})[key] = values[value_rep]
+            results.setdefault("select", values[value_rep])
         for representative, members in classes.items():
             value = values[representative]
             for term in members:

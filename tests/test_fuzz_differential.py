@@ -1,8 +1,9 @@
 """Differential fuzzing gauntlet: engine vs brute-force oracles.
 
-A seeded generator produces random scripts in three fragments —
-QF_LIA, QF_LRA and QF_UF — whose variables are *boxed* (explicit range
-assertions), so a brute-force oracle is exact:
+A seeded generator produces random scripts in five fragments —
+QF_LIA, QF_LRA, QF_UF, QF_BV and QF_AX — whose variables are *boxed*
+(explicit ranges, narrow widths or small finite universes), so a
+brute-force oracle is exact or soundly one-sided:
 
 * **QF_LIA** — three Int variables in ``[-B, B]``: exhaustive
   enumeration of all ``(2B+1)³`` assignments decides the script, and
@@ -16,6 +17,16 @@ assertions), so a brute-force oracle is exact:
   domains by the number of ground terms (4), so enumerating all
   assignments and function tables over domains of size 1..4 is an
   exact oracle.
+* **QF_BV** — two width-3 variables under random operator/comparison
+  trees: all 64 assignments are enumerated through
+  :func:`~repro.smtlib.evaluate.fold_apply`, giving an exact oracle
+  that is independent of the bit-blasted circuits it cross-checks.
+* **QF_AX** — arrays over uninterpreted index/value sorts with store
+  chains, selects and extensional equalities: a custom evaluator over
+  explicit finite models (arrays as total tuples, so extensional
+  equality is tuple equality) enumerates universes up to 3×3.  A hit
+  refutes an ``unsat`` verdict; every ``sat`` verdict is checked
+  against the engine's own model by the array-aware evaluator.
 
 Every case additionally round-trips through the printer —
 ``parse(print(script))`` must re-solve to the same verdict — and every
@@ -57,28 +68,42 @@ from repro.smtlib.script import (
     Script,
     SetLogic,
 )
-from repro.smtlib.sorts import BOOL, INT, REAL, uninterpreted_sort
+from repro.smtlib.sorts import (
+    BOOL,
+    INT,
+    REAL,
+    array_sort,
+    bitvec_sort,
+    uninterpreted_sort,
+)
 from repro.smtlib.terms import (
+    FALSE,
     TRUE,
     Apply,
     Constant,
     Symbol,
     Term,
+    bitvec_const,
     int_const,
     qualified_constant,
 )
 
-#: Per-fragment deterministic case counts: 120 + 100 + 80 = 300 in CI.
-CASES = {"lia": 120, "lra": 100, "uf": 80}
+#: Per-fragment deterministic case counts: 120+100+80+60+40 = 400 in CI.
+CASES = {"lia": 120, "lra": 100, "uf": 80, "bv": 60, "ax": 40}
 
 #: Bounded seed subsets for the lazy and incremental certification
 #: replays (each replay solves the script several times over).
-REPLAYS = {"lia": 30, "lra": 15, "uf": 20}
+REPLAYS = {"lia": 30, "lra": 15, "uf": 20, "bv": 15, "ax": 10}
 
 #: Box half-width for the numeric fragments.
 BOX = 4
 
+#: Bit width for the QF_BV fragment (8 values per variable: exhaustive).
+BV_WIDTH = 3
+
 U = uninterpreted_sort("U")
+IDX = uninterpreted_sort("X")
+VAL = uninterpreted_sort("V")
 
 
 # ---------------------------------------------------------------------------
@@ -144,6 +169,121 @@ def generate_numeric(seed: int, sort) -> tuple[Script, list[Symbol]]:
     return Script(tuple(commands)), variables
 
 
+_BV_BINARY = [
+    "bvadd",
+    "bvsub",
+    "bvmul",
+    "bvand",
+    "bvor",
+    "bvxor",
+    "bvudiv",
+    "bvurem",
+    "bvshl",
+    "bvlshr",
+    "bvashr",
+]
+_BV_CMP = [
+    "=",
+    "bvult",
+    "bvule",
+    "bvugt",
+    "bvuge",
+    "bvslt",
+    "bvsle",
+    "bvsgt",
+    "bvsge",
+]
+
+
+def _bv_term(rng: Random, variables: list[Symbol], depth: int) -> Term:
+    sort = bitvec_sort(BV_WIDTH)
+    if depth <= 0 or rng.random() < 0.3:
+        if rng.random() < 0.3:
+            return bitvec_const(rng.randrange(1 << BV_WIDTH), BV_WIDTH)
+        return rng.choice(variables)
+    op = rng.choice(_BV_BINARY + ["bvnot", "bvneg"])
+    if op in ("bvnot", "bvneg"):
+        return Apply(op, (_bv_term(rng, variables, depth - 1),), sort)
+    args = (
+        _bv_term(rng, variables, depth - 1),
+        _bv_term(rng, variables, depth - 1),
+    )
+    return Apply(op, args, sort)
+
+
+def _bv_atom(rng: Random, variables: list[Symbol]) -> Term:
+    lhs = _bv_term(rng, variables, 2)
+    rhs = _bv_term(rng, variables, 2)
+    return Apply(rng.choice(_BV_CMP), (lhs, rhs), BOOL)
+
+
+def generate_bv(seed: int) -> tuple[Script, list[Symbol]]:
+    rng = Random(seed)
+    sort = bitvec_sort(BV_WIDTH)
+    variables = [Symbol("x", sort), Symbol("y", sort)]
+    commands: list = [SetLogic("QF_BV")]
+    for symbol in variables:
+        commands.append(DeclareConst(symbol.name, sort))
+    for _ in range(rng.randint(1, 3)):
+        commands.append(
+            Assert(_formula(rng, 2, lambda: _bv_atom(rng, variables)))
+        )
+    commands.append(CheckSat())
+    return Script(tuple(commands)), variables
+
+
+def _ax_index(rng: Random) -> Term:
+    return Symbol(rng.choice(["i", "j"]), IDX)
+
+
+def _ax_array(rng: Random, depth: int) -> Term:
+    base: Term = Symbol(rng.choice(["a", "b"]), array_sort(IDX, VAL))
+    if depth <= 0 or rng.random() < 0.4:
+        return base
+    return Apply(
+        "store",
+        (_ax_array(rng, depth - 1), _ax_index(rng), _ax_value(rng, depth - 1)),
+        base.sort,
+    )
+
+
+def _ax_value(rng: Random, depth: int) -> Term:
+    if depth <= 0 or rng.random() < 0.5:
+        return Symbol(rng.choice(["v", "w"]), VAL)
+    return Apply("select", (_ax_array(rng, depth - 1), _ax_index(rng)), VAL)
+
+
+def _ax_atom(rng: Random) -> Term:
+    kind = rng.random()
+    if kind < 0.45:  # read equality
+        read = Apply("select", (_ax_array(rng, 2), _ax_index(rng)), VAL)
+        return Apply("=", (read, _ax_value(rng, 1)), BOOL)
+    if kind < 0.75:  # extensional array equality
+        return Apply("=", (_ax_array(rng, 2), _ax_array(rng, 1)), BOOL)
+    if kind < 0.9:  # index equality
+        return Apply("=", (Symbol("i", IDX), Symbol("j", IDX)), BOOL)
+    return Apply("=", (Symbol("v", VAL), Symbol("w", VAL)), BOOL)
+
+
+def generate_ax(seed: int) -> Script:
+    rng = Random(seed)
+    commands: list = [
+        SetLogic("QF_AX"),
+        DeclareSort("X", 0),
+        DeclareSort("V", 0),
+        DeclareConst("a", array_sort(IDX, VAL)),
+        DeclareConst("b", array_sort(IDX, VAL)),
+        DeclareConst("i", IDX),
+        DeclareConst("j", IDX),
+        DeclareConst("v", VAL),
+        DeclareConst("w", VAL),
+    ]
+    for _ in range(rng.randint(2, 4)):
+        commands.append(Assert(_formula(rng, 2, lambda: _ax_atom(rng))))
+    commands.append(CheckSat())
+    return Script(tuple(commands))
+
+
 def generate_uf(seed: int) -> tuple[Script, list[Term]]:
     rng = Random(seed)
     a, b = Symbol("a", U), Symbol("b", U)
@@ -196,6 +336,91 @@ def oracle_lra_grid(script: Script, variables: list[Symbol]) -> bool:
         }
         if _holds(assertions, bindings):
             return True
+    return False
+
+
+def oracle_bv(script: Script, variables: list[Symbol]) -> bool:
+    """Exact satisfiability by exhausting the (narrow) bit-vector space,
+    evaluated through ``fold_apply`` — independent of the blasted circuits."""
+    assertions = script.assertions()
+    names = [symbol.name for symbol in variables]
+    for point in product(range(1 << BV_WIDTH), repeat=len(names)):
+        bindings = {
+            name: bitvec_const(value, BV_WIDTH)
+            for name, value in zip(names, point)
+        }
+        if _holds(assertions, bindings):
+            return True
+    return False
+
+
+def _ax_eval(term: Term, env: dict):
+    """Evaluate a QF_AX term in an explicit finite model.
+
+    Indices and values are small ints; an array is a total tuple over the
+    index universe, so ``=`` over arrays is tuple equality — extensional
+    by construction.  Independent of the engine *and* of the production
+    evaluator's :class:`~repro.smtlib.evaluate.ArrayValue` semantics."""
+    if isinstance(term, Symbol):
+        return env[term.name]
+    if term is TRUE:
+        return True
+    if term is FALSE:
+        return False
+    assert isinstance(term, Apply), f"unexpected node {term!r}"
+    op = term.op
+    if op == "select":
+        array = _ax_eval(term.args[0], env)
+        return array[_ax_eval(term.args[1], env)]
+    if op == "store":
+        array = list(_ax_eval(term.args[0], env))
+        array[_ax_eval(term.args[1], env)] = _ax_eval(term.args[2], env)
+        return tuple(array)
+    values = [_ax_eval(arg, env) for arg in term.args]
+    if op == "=":
+        return all(value == values[0] for value in values[1:])
+    if op == "not":
+        return not values[0]
+    if op == "and":
+        return all(values)
+    if op == "or":
+        return any(values)
+    if op == "xor":
+        parity = False
+        for value in values:
+            parity ^= bool(value)
+        return parity
+    if op == "=>":
+        result = bool(values[-1])
+        for value in reversed(values[:-1]):
+            result = (not value) or result
+        return result
+    if op == "ite":
+        return values[1] if values[0] else values[2]
+    raise AssertionError(f"oracle cannot evaluate {op!r}")
+
+
+def oracle_ax(script: Script) -> bool:
+    """Satisfiability *under-approximation* for QF_AX: explicit models
+    over index/value universes up to size 3.  A hit is a genuine model
+    (the semantics are exact), so it soundly refutes ``unsat``."""
+    assertions = script.assertions()
+    for index_size in (1, 2, 3):
+        for value_size in (1, 2, 3):
+            arrays = list(product(range(value_size), repeat=index_size))
+            for i_val, j_val in product(range(index_size), repeat=2):
+                for v_val, w_val in product(range(value_size), repeat=2):
+                    for a_val, b_val in product(arrays, repeat=2):
+                        env = {
+                            "a": a_val,
+                            "b": b_val,
+                            "i": i_val,
+                            "j": j_val,
+                            "v": v_val,
+                            "w": w_val,
+                        }
+                        if all(_ax_eval(t, env) for t in assertions):
+                            return True
     return False
 
 
@@ -325,6 +550,36 @@ def test_differential_uf(seed):
     assert_roundtrip_agrees(script, answer)
 
 
+@pytest.mark.parametrize("seed", range(CASES["bv"]))
+def test_differential_bv(seed):
+    script, variables = generate_bv(7919 * seed + 4)
+    answer, result = engine_verdict(script)
+    assert answer in ("sat", "unsat"), (
+        f"engine answered {answer} ({result.reason}) on a narrow QF_BV script"
+    )
+    expected = "sat" if oracle_bv(script, variables) else "unsat"
+    assert answer == expected, f"engine {answer} but exhaustive oracle {expected}"
+    if answer == "sat":
+        assert_model_validates(result)
+    assert_roundtrip_agrees(script, answer)
+
+
+@pytest.mark.parametrize("seed", range(CASES["ax"]))
+def test_differential_ax(seed):
+    script = generate_ax(7919 * seed + 5)
+    answer, result = engine_verdict(script)
+    assert answer in ("sat", "unsat"), (
+        f"engine answered {answer} ({result.reason}) on a QF_AX script"
+    )
+    if answer == "sat":
+        assert_model_validates(result)
+    else:
+        assert not oracle_ax(script), (
+            "engine unsat but the finite-model oracle found an array model"
+        )
+    assert_roundtrip_agrees(script, answer)
+
+
 # ---------------------------------------------------------------------------
 # Certification replays: lazy theory mode and incremental push/pop.
 # ---------------------------------------------------------------------------
@@ -335,6 +590,10 @@ def _generate(fragment: str, seed: int) -> Script:
         return generate_numeric(7919 * seed + 1, INT)[0]
     if fragment == "lra":
         return generate_numeric(7919 * seed + 2, REAL)[0]
+    if fragment == "bv":
+        return generate_bv(7919 * seed + 4)[0]
+    if fragment == "ax":
+        return generate_ax(7919 * seed + 5)
     return generate_uf(7919 * seed + 3)[0]
 
 

@@ -37,6 +37,8 @@ DECIDED = {
     "lia_unsat",
     "unsat_core_lia",
     "unsat_core_uf",
+    "bitvec",
+    "arrays",
 }
 
 
