@@ -25,11 +25,15 @@ Four deterministic workload families:
 Results are printed as a table and written as JSON
 (``BENCH_arith.json``), the same shape as the other suites, so
 ``check_regression.py`` auto-gates them against
-``benchmarks/baselines/BENCH_arith.json``.
+``benchmarks/baselines/BENCH_arith.json``.  Three tiers share the
+workload families: ``--mode=smoke`` (milliseconds, verified — CI's
+per-push gate), ``--mode=full`` (the default), and ``--mode=heavy``
+(seconds-scale simplex instances for trustworthy timing).  ``--smoke``
+remains as an alias for ``--mode=smoke``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_arith.py [--smoke] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_arith.py [--mode {smoke,full,heavy}] [--out PATH]
 """
 
 from __future__ import annotations
@@ -58,6 +62,15 @@ from repro.smtlib import (  # noqa: E402
 )
 from repro.smtlib.terms import Constant, int_const  # noqa: E402
 from fractions import Fraction  # noqa: E402
+
+
+# Workload sizes per tier:
+# (dense n, sparse n, bb box, bb targets, diamond layers).
+MODE_SIZES = {
+    "smoke": (20, 40, 6, (29, 1, 41, 2), 8),
+    "full": (60, 160, 10, (29, 1, 41, 2, 71, 4, 97, 101, 2, 139), 14),
+    "heavy": (220, 700, 13, (29, 1, 41, 2, 71, 4, 97, 101, 2, 139, 163, 3), 600),
+}
 
 
 def rconst(value):
@@ -205,14 +218,9 @@ def run_workload(name, n, commands, expected, verify):
 
 
 def _run(args: argparse.Namespace) -> int:
-    verify = args.check or args.smoke
-    dense_n = 20 if args.smoke else 60
-    sparse_n = 40 if args.smoke else 160
-    bb_box = 6 if args.smoke else 10
-    bb_targets = (
-        [29, 1, 41, 2] if args.smoke else [29, 1, 41, 2, 71, 4, 97, 101, 2, 139]
-    )
-    diamond_layers = 8 if args.smoke else 14
+    verify = args.check or args.mode == "smoke"
+    dense_n, sparse_n, bb_box, bb_targets, diamond_layers = MODE_SIZES[args.mode]
+    bb_targets = list(bb_targets)
 
     results = [
         run_workload(
@@ -249,7 +257,7 @@ def _run(args: argparse.Namespace) -> int:
 
     payload = {
         "bench": "arith",
-        "mode": "smoke" if args.smoke else "full",
+        "mode": args.mode,
         "python": sys.version.split()[0],
         "results": results,
     }
@@ -262,10 +270,20 @@ def _run(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--smoke", action="store_true", help="small sizes + full verification")
+    parser.add_argument(
+        "--mode",
+        choices=sorted(MODE_SIZES),
+        default="full",
+        help="workload tier: smoke (ms, verified), full (sub-second), heavy (seconds)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="alias for --mode=smoke (small sizes + verification)"
+    )
     parser.add_argument("--check", action="store_true", help="verify answers")
     parser.add_argument("--out", default="BENCH_arith.json", help="JSON output path")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.mode = "smoke"
     outcome: list = []
     threading.stack_size(512 * 1024 * 1024)
     worker = threading.Thread(target=lambda: outcome.append(_run(args)))

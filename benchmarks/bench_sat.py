@@ -15,12 +15,17 @@ Per workload the harness reports CNF size (vars/clauses), the answer,
 solver statistics and wall-clock split into encode and solve phases.
 Results are printed as a table and written as JSON (``BENCH_sat.json``),
 the same shape as ``BENCH_simplify.json``, so CI can archive and
-regression-gate them.  ``--smoke`` shrinks the sizes and verifies every
-expected answer.
+regression-gate them.  Three tiers share the workload families and only
+differ in size: ``--mode=smoke`` (milliseconds, verifies every expected
+answer — what CI runs on every push), ``--mode=full`` (sub-second, the
+default), and ``--mode=heavy`` (seconds-scale instances — pigeonhole 8,
+random 3-SAT at n=200, deep xor chains — where a real speedup is
+distinguishable from timer noise).  ``--smoke`` remains as an alias for
+``--mode=smoke``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_sat.py [--smoke] [--out PATH]
+    PYTHONPATH=src python benchmarks/bench_sat.py [--mode {smoke,full,heavy}] [--out PATH]
 """
 
 from __future__ import annotations
@@ -49,6 +54,13 @@ from repro.smtlib import (  # noqa: E402
 
 PHASE_TRANSITION_RATIO = 4.26
 RANDOM_3SAT_SEEDS = (0, 1, 2)
+
+# Workload sizes per tier: (pigeonhole holes, random-3sat vars, xor length).
+MODE_SIZES = {
+    "smoke": (4, 30, 60),
+    "full": (7, 150, 1200),
+    "heavy": (8, 200, 4000),
+}
 
 
 # ---------------------------------------------------------------------------
@@ -234,10 +246,8 @@ def run_random_3sat(n: int, verify: bool):
 
 
 def _run(args: argparse.Namespace) -> int:
-    verify = args.check or args.smoke
-    php_n = 4 if args.smoke else 7
-    sat3_n = 30 if args.smoke else 150
-    xor_n = 60 if args.smoke else 1200
+    verify = args.check or args.mode == "smoke"
+    php_n, sat3_n, xor_n = MODE_SIZES[args.mode]
 
     results = [
         run_clause_workload(
@@ -268,7 +278,7 @@ def _run(args: argparse.Namespace) -> int:
 
     payload = {
         "bench": "sat",
-        "mode": "smoke" if args.smoke else "full",
+        "mode": args.mode,
         "python": sys.version.split()[0],
         "results": results,
     }
@@ -281,10 +291,20 @@ def _run(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--smoke", action="store_true", help="small sizes + full verification")
+    parser.add_argument(
+        "--mode",
+        choices=sorted(MODE_SIZES),
+        default="full",
+        help="workload tier: smoke (ms, verified), full (sub-second), heavy (seconds)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="alias for --mode=smoke (small sizes + verification)"
+    )
     parser.add_argument("--check", action="store_true", help="verify answers and models")
     parser.add_argument("--out", default="BENCH_sat.json", help="JSON output path")
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.mode = "smoke"
     # Deep xor chains recurse through to_nnf/Tseitin; run in a worker
     # thread with a large stack, mirroring bench_simplify.
     outcome: list = []

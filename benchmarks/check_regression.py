@@ -20,6 +20,12 @@ workloads.  Workloads present only on one side are reported but do
 not fail the gate, so adding a benchmark never requires a lockstep
 baseline update.
 
+Speedups are reported too: a workload more than
+``--speedup-threshold``× faster than its baseline (default 2×) is
+flagged ``FASTER — consider re-baselining``.  Speedups never fail the
+gate; the flag makes a perf win visible in CI output and nudges the
+author to refresh the committed baseline so the gate keeps teeth.
+
 Besides the wall-clock gate, the script prints an **informational**
 counter-drift report: the deterministic search counters (``solver`` and
 ``intern`` blocks of each workload row) are compared against the
@@ -141,9 +147,16 @@ def main(argv: list[str] | None = None) -> int:
         default=1.5,
         help="report (never fail on) counters that moved by this factor",
     )
+    parser.add_argument(
+        "--speedup-threshold",
+        type=float,
+        default=2.0,
+        help="report (never fail on) workloads faster than baseline by this factor",
+    )
     args = parser.parse_args(argv)
 
     failures: list[str] = []
+    speedups: list[str] = []
     fresh_files = list(args.fresh)
     if not fresh_files:
         baselines = sorted(glob.glob(os.path.join(args.baseline_dir, "*.json")))
@@ -177,7 +190,17 @@ def main(argv: list[str] | None = None) -> int:
                 side = "baseline" if fresh_s is None else "fresh"
                 print(f"{workload:<20} {'-':>11} {'-':>9} {'-':>7}  only in {side}")
                 continue
-            status = "REGRESSED" if regressed else "ok"
+            if regressed:
+                status = "REGRESSED"
+            elif ratio < 1 / args.speedup_threshold:
+                status = (
+                    f"FASTER ({1 / ratio:.1f}x) — consider re-baselining"
+                )
+                speedups.append(
+                    f"{os.path.basename(fresh_path)}:{workload} ({1 / ratio:.1f}x faster)"
+                )
+            else:
+                status = "ok"
             print(
                 f"{workload:<20} {baseline_s:>11.4f} {fresh_s:>9.4f} {ratio:>6.2f}x  {status}"
             )
@@ -198,6 +221,13 @@ def main(argv: list[str] | None = None) -> int:
                 f"counter drift: none beyond {args.drift_threshold}x (informational)"
             )
         print()
+    if speedups:
+        print(
+            f"NOTE: {len(speedups)} workload(s) more than {args.speedup_threshold}x "
+            "faster than baseline — consider re-baselining:"
+        )
+        for speedup in speedups:
+            print(f"  - {speedup}")
     if failures:
         print(f"FAIL: {len(failures)} workload(s) regressed beyond {args.threshold}x:")
         for failure in failures:

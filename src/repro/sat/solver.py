@@ -3,11 +3,16 @@
 The solver is a faithful, compact rendition of the modern SAT loop:
 
 * **Two-watched-literal propagation** — every clause with at least two
-  literals watches exactly two of them, kept in positions 0 and 1 of its
-  literal list.  The *watched-literal invariant*: whenever a clause is not
-  satisfied, its two watched literals are non-false, so only clauses
-  watching a literal that just became false need visiting, and backtracking
-  never touches the watch lists.
+  literals watches exactly two of them, kept in the first two slots of
+  its literal block.  The *watched-literal invariant*: whenever a clause
+  is not satisfied, its two watched literals are non-false, so only
+  clauses watching a literal that just became false need visiting, and
+  backtracking never touches the watch lists.  Each watch entry carries a
+  *blocker* literal (the other watched literal when the entry was made):
+  when the blocker is currently true the clause is satisfied and is
+  skipped without touching its literals at all.  Binary clauses live in
+  dedicated watch lists — their watches never move and the partner
+  literal is all propagation needs, so the binary loop is read-only.
 * **First-UIP learning** — on conflict, resolution over the implication
   graph stops at the first unique implication point of the current decision
   level, yielding an asserting clause; a cheap self-subsumption pass then
@@ -22,6 +27,41 @@ The solver is a faithful, compact rendition of the modern SAT loop:
 * **Learned-clause reduction** — when the learned-clause database outgrows
   its budget, the less active half is dropped (binary and reason clauses
   are kept).
+
+**Memory layout.**  The solver stores no per-clause Python objects.  All
+clause literals live in one flat integer arena; a clause is identified
+by its *reference* — the arena offset of its two-word header::
+
+    arena:  ... | size | flags | lit0 | lit1 | lit2 ... | size | flags | ...
+                  ^ref                                     ^next ref
+
+``lit0``/``lit1`` are the watched positions.  ``flags`` is a bit set
+(bit 0: learned, bit 1: deleted).  Reference ``0`` is reserved (the arena
+starts with a sentinel word) and doubles as "no clause" everywhere a
+clause reference is optional — conflict returns, reason slots.  The
+arena is held as a plain Python list — flat machine-word payload, but
+CPython indexes lists faster than typed arrays because small ints come
+back as cached objects instead of being re-boxed per read;
+:meth:`Solver.arena_snapshot` exports the same words as a compact
+``array('i')`` for hashing or shipping across processes (the
+prerequisite for the portfolio/service roadmap items).
+
+Watch lists are lists of ``(clause ref, blocker literal)`` tuples —
+iterated directly by the propagation loop (CPython's fastest scan) and
+detached by swap-remove (O(1) per removal, no ``list.remove`` scan); the
+scan stays read-only until some watch actually migrates, and only then
+compacts the list in place MiniSat-style from the migration point.
+Assignment values and watch-list heads are *literal-indexed*
+tables: a table of capacity ``C > 2·num_vars`` holds literal ``+v`` at
+index ``v`` and literal ``-v`` at index ``C - v``, so Python's negative
+indexing turns ``values[lit]`` into a single branch-free lookup for
+either polarity (tables rebuild when the variable count outgrows half
+the capacity, amortized O(1) per variable).  Levels, reasons, saved
+phases and the conflict-analysis ``seen`` marks are parallel per-variable
+vectors; variable activity is an ``array('d')``.  Deleted clauses leave
+holes in the arena that a mark-and-compact pass
+(:meth:`Solver._collect_garbage`) reclaims once more than half the arena
+is garbage.
 
 The solver is *incremental* — the DPLL(T) engine drives it through three
 extensions of the classic loop:
@@ -48,11 +88,15 @@ extensions of the classic loop:
 
 Variables are ``1..n``; literals are signed non-zero integers (DIMACS
 convention).  The solver is deterministic: the same clauses added in the
-same order always produce the same answer, model and statistics.
+same order always produce the same answer, model and statistics.  The
+pre-arena object-based implementation is retained as
+:class:`repro.sat.reference.ReferenceSolver` and the test suite
+cross-checks the two cores on seeded instances.
 """
 
 from __future__ import annotations
 
+from array import array
 from heapq import heapify, heappop, heappush
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
@@ -75,6 +119,21 @@ _RESCALE_LIMIT = 1e100
 _RESCALE_FACTOR = 1e-100
 _CLA_RESCALE_LIMIT = 1e20
 _CLA_RESCALE_FACTOR = 1e-20
+
+#: Arena header flag bits (the word at ``ref + 1``).
+_LEARNED_BIT = 1
+_DELETED_BIT = 2
+
+#: Words of arena overhead per clause: the ``size`` and ``flags`` header.
+_HEADER_WORDS = 2
+
+#: Initial capacity of the literal-indexed tables (must exceed twice the
+#: variable count; doubles on demand).
+_MIN_LIT_CAPACITY = 16
+
+#: "No clause": the arena begins with a sentinel word so offset 0 never
+#: addresses a real header, making 0 a safe null for reasons/conflicts.
+NO_CLAUSE = 0
 
 
 def luby(i: int) -> int:
@@ -124,23 +183,8 @@ class TheoryLemma(list):
         self.source = source
 
 
-class _Clause:
-    """A clause: a mutable literal list whose first two entries are watched."""
-
-    __slots__ = ("lits", "learned", "activity")
-
-    def __init__(self, lits: list[int], learned: bool = False) -> None:
-        self.lits = lits
-        self.learned = learned
-        self.activity = 0.0
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        kind = "learnt" if self.learned else "clause"
-        return f"<{kind} {self.lits}>"
-
-
 class Solver:
-    """A CDCL solver over integer literals.
+    """A CDCL solver over integer literals, on flat array storage.
 
     Typical use::
 
@@ -159,17 +203,36 @@ class Solver:
 
     def __init__(self, num_vars: int = 0) -> None:
         self._num_vars = 0
-        # Indexed by variable; slot 0 is unused padding.
-        self._values: list[int] = [0]  # 0 unassigned, 1 true, -1 false
+        # Literal-indexed tables (capacity > 2*num_vars): literal +v at
+        # index v, literal -v at index capacity-v, so plain values[lit]
+        # resolves either polarity in one lookup via Python's negative
+        # indexing.  values holds 0 unassigned / 1 true / -1 false *of
+        # that literal*; _watches/_bwatches hold the per-literal lists of
+        # (ref, blocker) watch tuples (binary clauses separate from
+        # longer ones).
+        self._values: list[int] = [0] * _MIN_LIT_CAPACITY
+        self._watches: list[list[tuple[int, int]]] = [
+            [] for _ in range(_MIN_LIT_CAPACITY)
+        ]
+        self._bwatches: list[list[tuple[int, int]]] = [
+            [] for _ in range(_MIN_LIT_CAPACITY)
+        ]
+        # Parallel per-variable vectors; slot 0 is unused padding.
         self._levels: list[int] = [0]
-        self._reasons: list[Optional[_Clause]] = [None]
-        self._activity: list[float] = [0.0]
-        self._phase: list[bool] = [False]
+        self._reasons: list[int] = [NO_CLAUSE]  # clause refs; 0 = no reason
+        self._activity = array("d", (0.0,))
+        self._phase = bytearray(1)
         self._seen = bytearray(1)
-        # Indexed by encoded literal: 2*v for +v, 2*v+1 for -v.
-        self._watches: list[list[_Clause]] = [[], []]
-        self._clauses: list[_Clause] = []
-        self._learnts: list[_Clause] = []
+        # All clause literals, with two header words (size, flags) per
+        # clause; a clause *ref* is the offset of its header.  The
+        # sentinel word keeps 0 free to mean "no clause".
+        self._arena: list[int] = [0]
+        #: Arena words occupied by deleted clauses (headers included).
+        self._garbage_words = 0
+        self._clauses: list[int] = []  # problem-clause refs
+        self._learnts: list[int] = []  # learned-clause refs
+        self._cla_activity: dict[int, float] = {}  # learned ref -> activity
+        self._cla_lbd: dict[int, int] = {}  # learned ref -> literal block distance
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._trail_low = 0
@@ -211,6 +274,8 @@ class Solver:
             "theory_checks": 0,
             "theory_lemmas": 0,
             "theory_conflicts": 0,
+            "blocker_skips": 0,
+            "arena_collections": 0,
         }
         if num_vars:
             self.ensure_vars(num_vars)
@@ -230,14 +295,13 @@ class Solver:
         """Allocate and return the next variable."""
         self._num_vars += 1
         var = self._num_vars
-        self._values.append(0)
+        if 2 * var >= len(self._values):
+            self._grow_literal_tables()
         self._levels.append(0)
-        self._reasons.append(None)
+        self._reasons.append(NO_CLAUSE)
         self._activity.append(0.0)
-        self._phase.append(False)
+        self._phase.append(0)
         self._seen.append(0)
-        self._watches.append([])
-        self._watches.append([])
         heappush(self._order, (0.0, var))
         return var
 
@@ -245,6 +309,67 @@ class Solver:
         """Grow the variable pool to at least ``count`` variables."""
         while self._num_vars < count:
             self.new_var()
+
+    def _grow_literal_tables(self) -> None:
+        """Double the capacity of the literal-indexed tables.
+
+        The negative-literal half sits at the *end* of each table, so a
+        plain append would shift its meaning; instead the tables are
+        rebuilt with both halves re-anchored.  Amortized O(1) per
+        variable."""
+        n = self._num_vars
+        capacity = max(_MIN_LIT_CAPACITY, 2 * len(self._values))
+        while capacity <= 2 * n:
+            capacity *= 2
+        values = [0] * capacity
+        watches: list[list[int]] = [[] for _ in range(capacity)]
+        bwatches: list[list[int]] = [[] for _ in range(capacity)]
+        for v in range(1, n):  # the var being added has no state yet
+            values[v] = self._values[v]
+            values[-v] = self._values[-v]
+            watches[v] = self._watches[v]
+            watches[-v] = self._watches[-v]
+            bwatches[v] = self._bwatches[v]
+            bwatches[-v] = self._bwatches[-v]
+        self._values = values
+        self._watches = watches
+        self._bwatches = bwatches
+
+    # -- the clause arena ---------------------------------------------------
+
+    def arena_size(self) -> tuple[int, int]:
+        """``(live words, garbage words)`` of the clause arena — the
+        sentinel and live headers/literals versus words awaiting
+        compaction.  Introspection for tests and debugging."""
+        return len(self._arena) - self._garbage_words, self._garbage_words
+
+    def arena_snapshot(self) -> array:
+        """The clause arena as a compact ``array('i')`` — a
+        position-independent flat copy (refs are offsets into it) cheap
+        to hash, diff, or ship to another process."""
+        return array("i", self._arena)
+
+    def clause_lits(self, ref: int) -> tuple[int, ...]:
+        """The literal block of a clause reference (tests/debugging)."""
+        arena = self._arena
+        base = ref + _HEADER_WORDS
+        return tuple(arena[base : base + arena[ref]])
+
+    def _alloc(self, lits: list[int], learned: bool) -> int:
+        """Append a clause block to the arena; returns its reference."""
+        arena = self._arena
+        ref = len(arena)
+        arena.append(len(lits))
+        arena.append(_LEARNED_BIT if learned else 0)
+        arena.extend(lits)
+        return ref
+
+    def watcher_refs(self, lit: int) -> list[int]:
+        """Clause refs currently watching ``lit``, binary watchers first
+        (tests/debugging)."""
+        return [entry[0] for entry in self._bwatches[lit]] + [
+            entry[0] for entry in self._watches[lit]
+        ]
 
     # -- clause management --------------------------------------------------
 
@@ -279,8 +404,7 @@ class Solver:
                 return True  # tautology: contains both polarities
             if lit in seen:
                 continue
-            value = self._values[abs(lit)]
-            value = value if lit > 0 else -value
+            value = self._values[lit]
             if value == 1:
                 return True  # satisfied at level 0
             if value == -1:
@@ -291,14 +415,14 @@ class Solver:
             self._unsat = True
             return False
         if len(out) == 1:
-            self._assign(out[0], None)
-            if self._propagate() is not None:
+            self._assign(out[0], NO_CLAUSE)
+            if self._propagate() != NO_CLAUSE:
                 self._unsat = True
                 return False
             return True
-        clause = _Clause(out)
-        self._clauses.append(clause)
-        self._attach(clause)
+        ref = self._alloc(out, learned=False)
+        self._clauses.append(ref)
+        self._attach(ref)
         return True
 
     def add_clauses(self, clauses: Iterable[Sequence[int]]) -> bool:
@@ -308,19 +432,31 @@ class Solver:
             ok = self.add_clause(lits) and ok
         return ok
 
-    def _attach(self, clause: _Clause) -> None:
-        lits = clause.lits
-        self._watches[self._windex(lits[0])].append(clause)
-        self._watches[self._windex(lits[1])].append(clause)
+    def _attach(self, ref: int) -> None:
+        """Watch the clause's first two literals, each entry carrying the
+        *other* watched literal as its blocker.  Binary clauses go to the
+        dedicated binary watch lists."""
+        arena = self._arena
+        base = ref + _HEADER_WORDS
+        first, second = arena[base], arena[base + 1]
+        watches = self._bwatches if arena[ref] == 2 else self._watches
+        watches[first].append((ref, second))
+        watches[second].append((ref, first))
 
-    def _detach(self, clause: _Clause) -> None:
-        lits = clause.lits
-        self._watches[self._windex(lits[0])].remove(clause)
-        self._watches[self._windex(lits[1])].remove(clause)
-
-    @staticmethod
-    def _windex(lit: int) -> int:
-        return 2 * lit if lit > 0 else -2 * lit + 1
+    def _detach(self, ref: int) -> None:
+        """Remove the clause from both watch lists by swap-remove: the
+        matching ``(ref, blocker)`` entry is overwritten with the list's
+        last entry and the tail popped — no ``list.remove`` shifting."""
+        arena = self._arena
+        base = ref + _HEADER_WORDS
+        watches = self._bwatches if arena[ref] == 2 else self._watches
+        for position in (base, base + 1):
+            watchers = watches[arena[position]]
+            for i, entry in enumerate(watchers):
+                if entry[0] == ref:
+                    watchers[i] = watchers[-1]
+                    watchers.pop()
+                    break
 
     # -- assignment / trail -------------------------------------------------
 
@@ -357,8 +493,7 @@ class Solver:
 
     def value(self, lit: int) -> int:
         """Current assignment of a literal: 1 true, -1 false, 0 unassigned."""
-        value = self._values[abs(lit)]
-        return value if lit > 0 else -value
+        return self._values[lit]
 
     def level(self, var: int) -> int:
         """Decision level at which ``var`` was assigned (0 for facts)."""
@@ -383,13 +518,14 @@ class Solver:
         clauses: list[tuple[int, ...]] = [(lit,) for lit in self._trail]
         if self._unsat:
             clauses.append(())
-        for clause in self._clauses:
-            clauses.append(tuple(clause.lits))
+        for ref in self._clauses:
+            clauses.append(self.clause_lits(ref))
         return self._num_vars, clauses
 
-    def _assign(self, lit: int, reason: Optional[_Clause]) -> None:
-        var = abs(lit)
-        self._values[var] = 1 if lit > 0 else -1
+    def _assign(self, lit: int, reason: int) -> None:
+        var = lit if lit > 0 else -lit
+        self._values[lit] = 1
+        self._values[-lit] = -1
         self._levels[var] = len(self._trail_lim)
         self._reasons[var] = reason
         self._trail.append(lit)
@@ -404,8 +540,9 @@ class Solver:
             lit = self._trail[i]
             var = lit if lit > 0 else -lit
             values[var] = 0
-            phase[var] = lit > 0  # phase saving
-            reasons[var] = None
+            values[-var] = 0
+            phase[var] = 1 if lit > 0 else 0  # phase saving
+            reasons[var] = NO_CLAUSE
             heappush(order, (-activity[var], var))
         del self._trail[bound:]
         del self._trail_lim[level:]
@@ -415,59 +552,160 @@ class Solver:
 
     # -- propagation --------------------------------------------------------
 
-    def _propagate(self) -> Optional[_Clause]:
-        """Unit propagation to fixpoint; returns a conflicting clause or
-        ``None``.  Maintains the watched-literal invariant."""
+    def _propagate(self) -> int:
+        """Unit propagation to fixpoint; returns a conflicting clause ref
+        or :data:`NO_CLAUSE`.  Maintains the watched-literal invariant.
+
+        The hot loop works on hoisted locals and assigns inline (bypassing
+        :meth:`_assign`): within one call the decision level is fixed, so
+        level bookkeeping hoists out of the loop entirely.  For each trail
+        literal the read-only binary loop runs first — binary watch entries
+        carry the partner literal, so propagation never touches the arena.
+        The long-clause loop then iterates tuple entries directly (the
+        fastest scan CPython offers) and materialises a replacement
+        ``keep`` list lazily, only once some entry actually moves or has
+        its blocker refreshed — a scan where every blocker hits writes
+        nothing at all.
+        """
         values = self._values
         watches = self._watches
-        while self._qhead < len(self._trail):
-            lit = self._trail[self._qhead]
-            self._qhead += 1
-            self.stats["propagations"] += 1
+        bwatches = self._bwatches
+        arena = self._arena
+        trail = self._trail
+        levels = self._levels
+        reasons = self._reasons
+        level = len(self._trail_lim)
+        qhead = self._qhead
+        propagated = 0
+        skips = 0
+        conflict = NO_CLAUSE
+        while qhead < len(trail):
+            lit = trail[qhead]
+            qhead += 1
+            propagated += 1
             false_lit = -lit
-            watchers = watches[self._windex(false_lit)]
-            i = j = 0
-            count = len(watchers)
-            while i < count:
-                clause = watchers[i]
-                i += 1
-                lits = clause.lits
-                # Normalise: the false literal sits at position 1.
-                if lits[0] == false_lit:
-                    lits[0], lits[1] = lits[1], false_lit
-                first = lits[0]
-                value = values[first] if first > 0 else -values[-first]
+            for bref, other in bwatches[false_lit]:
+                value = values[other]
                 if value == 1:
-                    watchers[j] = clause
-                    j += 1
+                    skips += 1
                     continue
-                for k in range(2, len(lits)):
-                    other = lits[k]
-                    other_value = values[other] if other > 0 else -values[-other]
-                    if other_value != -1:
-                        lits[1], lits[k] = other, false_lit
-                        watches[self._windex(other)].append(clause)
+                if value == -1:
+                    qhead = len(trail)
+                    conflict = bref
+                    break
+                var = other if other > 0 else -other
+                values[other] = 1
+                values[-other] = -1
+                levels[var] = level
+                reasons[var] = bref
+                trail.append(other)
+            if conflict != NO_CLAUSE:
+                break
+            watchers = watches[false_lit]
+            migrated = None
+            # Phase 1: a pure read-only scan — no index bookkeeping, no
+            # list writes.  Blocker hits, unit propagations and conflicts
+            # all keep the entry in place; only an actual watch migration
+            # (entry leaves this list) forces writes, at which point the
+            # entry's position is recovered by identity (`list.index`
+            # short-circuits on pointer equality) and the scan switches
+            # to the in-place compacting phase 2.
+            for entry in watchers:
+                if values[entry[1]] == 1:
+                    # The blocker satisfies the clause: keep the entry
+                    # without touching the clause's literal block.
+                    skips += 1
+                    continue
+                ref = entry[0]
+                base = ref + _HEADER_WORDS
+                # Normalise: the false literal sits in the second slot.
+                if arena[base] == false_lit:
+                    arena[base] = arena[base + 1]
+                    arena[base + 1] = false_lit
+                first = arena[base]
+                value = values[first]
+                if value == 1:
+                    continue  # satisfied by its first watch: keep as-is
+                end = base + arena[ref]
+                for k in range(base + 2, end):
+                    if values[arena[k]] != -1:
+                        migrated = entry
                         break
                 else:
                     # No replacement watch: the clause is unit or conflicting.
-                    watchers[j] = clause
-                    j += 1
                     if value == -1:
-                        while i < count:  # keep the remaining watchers
-                            watchers[j] = watchers[i]
-                            j += 1
-                            i += 1
-                        del watchers[j:]
-                        self._qhead = len(self._trail)
-                        return clause
-                    self._assign(first, clause)
+                        qhead = len(trail)
+                        conflict = ref
+                        break
+                    var = first if first > 0 else -first
+                    values[first] = 1
+                    values[-first] = -1
+                    levels[var] = level
+                    reasons[var] = ref
+                    trail.append(first)
                     continue
-            del watchers[j:]
-        return None
+                break
+            if migrated is not None:
+                # Phase 2: compact in place from the migrating entry on,
+                # refreshing blockers as a side effect of the rewrite.
+                count = len(watchers)
+                i = j = watchers.index(migrated)
+                while i < count:
+                    entry = watchers[i]
+                    i += 1
+                    if values[entry[1]] == 1:
+                        watchers[j] = entry
+                        j += 1
+                        skips += 1
+                        continue
+                    ref = entry[0]
+                    base = ref + _HEADER_WORDS
+                    if arena[base] == false_lit:
+                        arena[base] = arena[base + 1]
+                        arena[base + 1] = false_lit
+                    first = arena[base]
+                    value = values[first]
+                    if value == 1:
+                        watchers[j] = (ref, first)
+                        j += 1
+                        continue
+                    end = base + arena[ref]
+                    for k in range(base + 2, end):
+                        other = arena[k]
+                        if values[other] != -1:
+                            arena[base + 1] = other
+                            arena[k] = false_lit
+                            watches[other].append((ref, first))
+                            break
+                    else:
+                        watchers[j] = entry
+                        j += 1
+                        if value == -1:
+                            while i < count:  # keep the remaining watchers
+                                watchers[j] = watchers[i]
+                                j += 1
+                                i += 1
+                            qhead = len(trail)
+                            conflict = ref
+                            break
+                        var = first if first > 0 else -first
+                        values[first] = 1
+                        values[-first] = -1
+                        levels[var] = level
+                        reasons[var] = ref
+                        trail.append(first)
+                del watchers[j:]
+            if conflict != NO_CLAUSE:
+                break
+        self._qhead = qhead
+        self.stats["propagations"] += propagated
+        if skips:
+            self.stats["blocker_skips"] += skips
+        return conflict
 
     # -- conflict analysis --------------------------------------------------
 
-    def _analyze(self, conflict: _Clause) -> tuple[list[int], int]:
+    def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """First-UIP conflict analysis.  Returns the learnt (asserting)
         clause — asserting literal first, a highest-level literal second —
         and the backtrack level."""
@@ -475,52 +713,72 @@ class Solver:
         seen = self._seen
         levels = self._levels
         trail = self._trail
+        arena = self._arena
+        activity = self._activity
+        var_inc = self._var_inc
         current_level = len(self._trail_lim)
         counter = 0
         p = 0
-        reason_lits = conflict.lits
+        reason_base = conflict + _HEADER_WORDS
+        reason_lits = arena[reason_base : reason_base + arena[conflict]]
         index = len(trail)
         while True:
             for q in reason_lits:
                 if q == p:
                     continue
-                var = abs(q)
+                var = q if q > 0 else -q
                 if not seen[var] and levels[var] > 0:
                     seen[var] = 1
-                    self._bump_var(var)
+                    # Every bumped variable is assigned (it sits on the
+                    # trail or in the conflict), so no heap entry is due
+                    # yet: `_cancel_until` pushes it with its then-current
+                    # activity the moment it becomes decidable again.
+                    bumped = activity[var] + var_inc
+                    if bumped > _RESCALE_LIMIT:  # rare: rescale via the slow path
+                        self._bump_var(var)
+                        var_inc = self._var_inc
+                    else:
+                        activity[var] = bumped
                     if levels[var] >= current_level:
                         counter += 1
                     else:
                         learnt.append(q)
             while True:
                 index -= 1
-                if seen[abs(trail[index])]:
+                p = trail[index]
+                if seen[p if p > 0 else -p]:
                     break
-            p = trail[index]
-            var = abs(p)
+            var = p if p > 0 else -p
             seen[var] = 0
             counter -= 1
             if counter == 0:
                 break
             reason = self._reasons[var]
-            assert reason is not None, "UIP literal must have a reason"
-            if reason.learned:
+            assert reason != NO_CLAUSE, "UIP literal must have a reason"
+            if arena[reason + 1] & _LEARNED_BIT:
                 self._bump_clause(reason)
-            reason_lits = reason.lits
+            reason_base = reason + _HEADER_WORDS
+            reason_lits = arena[reason_base : reason_base + arena[reason]]
         learnt[0] = -p
-        if conflict.learned:
+        if arena[conflict + 1] & _LEARNED_BIT:
             self._bump_clause(conflict)
 
         # Self-subsumption minimization: drop a literal whose reason's other
-        # literals are all already in the clause (seen) or at level 0.
+        # literals are all already in the clause (seen) or at level 0 —
+        # the same local pass as the reference core, so seeded runs learn
+        # the same clauses.  The shrunk clause is derived by one more
+        # resolution step, so it stays RUP for the proof log.
+        reasons = self._reasons
         kept = [learnt[0]]
         for q in learnt[1:]:
-            reason = self._reasons[abs(q)]
-            redundant = reason is not None
-            if reason is not None:
-                for r in reason.lits:
-                    var = abs(r)
-                    if var != abs(q) and not seen[var] and levels[var] > 0:
+            qvar = q if q > 0 else -q
+            reason = reasons[qvar]
+            redundant = reason != NO_CLAUSE
+            if redundant:
+                rbase = reason + _HEADER_WORDS
+                for r in arena[rbase : rbase + arena[reason]]:
+                    rvar = r if r > 0 else -r
+                    if rvar != qvar and not seen[rvar] and levels[rvar] > 0:
                         redundant = False
                         break
             if redundant:
@@ -528,7 +786,7 @@ class Solver:
             else:
                 kept.append(q)
         for q in learnt[1:]:
-            seen[abs(q)] = 0
+            seen[q if q > 0 else -q] = 0
         learnt = kept
 
         if len(learnt) == 1:
@@ -540,19 +798,20 @@ class Solver:
         learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
         return learnt, levels[abs(learnt[1])]
 
-    def _record(self, lits: list[int]) -> None:
+    def _record(self, lits: list[int], lbd: int) -> None:
         """Attach a learnt clause and assert its first literal."""
         self.stats["learned"] += 1
         if self.proof is not None:
             self.proof.log_rup(lits)
         if len(lits) == 1:
-            self._assign(lits[0], None)
+            self._assign(lits[0], NO_CLAUSE)
             return
-        clause = _Clause(lits, learned=True)
-        clause.activity = self._cla_inc
-        self._learnts.append(clause)
-        self._attach(clause)
-        self._assign(lits[0], clause)
+        ref = self._alloc(lits, learned=True)
+        self._cla_activity[ref] = self._cla_inc
+        self._cla_lbd[ref] = lbd
+        self._learnts.append(ref)
+        self._attach(ref)
+        self._assign(lits[0], ref)
 
     def _analyze_final(self, p: int) -> tuple[int, ...]:
         """Assumption ``p`` is false under the current (assumption-only)
@@ -562,20 +821,22 @@ class Solver:
         if not self._trail_lim:
             return tuple(out)
         seen = self._seen
+        arena = self._arena
         seen[abs(p)] = 1
         for index in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
             lit = self._trail[index]
-            var = abs(lit)
+            var = lit if lit > 0 else -lit
             if not seen[var]:
                 continue
             reason = self._reasons[var]
-            if reason is None:
+            if reason == NO_CLAUSE:
                 # A decision above level 0 during the assumption phase is
                 # always an assumption literal itself.
                 out.append(lit)
             else:
-                for q in reason.lits:
-                    qvar = abs(q)
+                base = reason + _HEADER_WORDS
+                for q in arena[base : base + arena[reason]]:
+                    qvar = q if q > 0 else -q
                     if qvar != var and self._levels[qvar] > 0:
                         seen[qvar] = 1
             seen[var] = 0
@@ -591,10 +852,11 @@ class Solver:
 
     # -- theory lemmas ------------------------------------------------------
 
-    def _theory_check(self, final: bool) -> Optional[_Clause]:
+    def _theory_check(self, final: bool) -> int:
         """Consult the theory hook and integrate its lemmas.  Returns a
-        conflicting clause for the main loop to analyze, or ``None``; may
-        set the global unsat flag (level-0 theory conflict)."""
+        conflicting clause ref for the main loop to analyze, or
+        :data:`NO_CLAUSE`; may set the global unsat flag (level-0 theory
+        conflict)."""
         assert self.theory is not None
         self.stats["theory_checks"] += 1
         for lits in self.theory.on_check(self, final):
@@ -606,15 +868,15 @@ class Solver:
                 self.events.emit("theory-lemma", size=len(lemma), final=final)
             conflict = self._integrate_lemma(lemma)
             if self._unsat:
-                return None
-            if conflict is not None:
+                return NO_CLAUSE
+            if conflict != NO_CLAUSE:
                 # Handle the first conflicting lemma; the hook regenerates
                 # anything it still cares about at the next fixpoint.
                 self.stats["theory_conflicts"] += 1
                 return conflict
-        return None
+        return NO_CLAUSE
 
-    def _integrate_lemma(self, lits: list[int]) -> Optional[_Clause]:
+    def _integrate_lemma(self, lits: list[int]) -> int:
         """Attach a theory lemma mid-search, backjumping as needed.
 
         The lemma joins the problem clauses (theory lemmas are valid, so
@@ -630,56 +892,56 @@ class Solver:
                 raise ValueError("0 is not a literal")
             self.ensure_vars(abs(lit))
             if -lit in seen:
-                return None  # tautology
+                return NO_CLAUSE  # tautology
             if lit in seen:
                 continue
-            if self.value(lit) == -1 and self._levels[abs(lit)] == 0:
+            if self._values[lit] == -1 and self._levels[abs(lit)] == 0:
                 continue  # false fact: drop the literal
             seen.add(lit)
             out.append(lit)
         if not out:
             self._unsat = True
-            return None
+            return NO_CLAUSE
         if len(out) == 1:
             self._cancel_until(0)
             unit = out[0]
-            value = self.value(unit)
+            value = self._values[unit]
             if value == -1:
                 self._unsat = True
             elif value == 0:
-                self._assign(unit, None)
-            return None
+                self._assign(unit, NO_CLAUSE)
+            return NO_CLAUSE
         false_lits = sorted(
-            (lit for lit in out if self.value(lit) == -1),
+            (lit for lit in out if self._values[lit] == -1),
             key=lambda lit: -self._levels[abs(lit)],
         )
-        non_false = [lit for lit in out if self.value(lit) != -1]
+        non_false = [lit for lit in out if self._values[lit] != -1]
         if len(non_false) >= 2:
-            clause = _Clause(non_false + false_lits)
-            self._clauses.append(clause)
-            self._attach(clause)
-            return None
+            ref = self._alloc(non_false + false_lits, learned=False)
+            self._clauses.append(ref)
+            self._attach(ref)
+            return NO_CLAUSE
         if len(non_false) == 1:
             unit = non_false[0]
             backjump = self._levels[abs(false_lits[0])]
-            if not (self.value(unit) == 1 and self._levels[abs(unit)] <= backjump):
+            if not (self._values[unit] == 1 and self._levels[abs(unit)] <= backjump):
                 self._cancel_until(backjump)
-            clause = _Clause([unit] + false_lits)
-            self._clauses.append(clause)
-            self._attach(clause)
-            if self.value(unit) == 0:
-                self._assign(unit, clause)
-            return None
+            ref = self._alloc([unit] + false_lits, learned=False)
+            self._clauses.append(ref)
+            self._attach(ref)
+            if self._values[unit] == 0:
+                self._assign(unit, ref)
+            return NO_CLAUSE
         # Every literal is false: this lemma vetoes the current assignment.
         backjump = self._levels[abs(false_lits[0])]
         if backjump == 0:
             self._unsat = True
-            return None
+            return NO_CLAUSE
         self._cancel_until(backjump)
-        clause = _Clause(false_lits)
-        self._clauses.append(clause)
-        self._attach(clause)
-        return clause
+        ref = self._alloc(false_lits, learned=False)
+        self._clauses.append(ref)
+        self._attach(ref)
+        return ref
 
     # -- activity -----------------------------------------------------------
 
@@ -700,11 +962,14 @@ class Solver:
         else:
             heappush(self._order, (-activity, var))
 
-    def _bump_clause(self, clause: _Clause) -> None:
-        clause.activity += self._cla_inc
-        if clause.activity > _CLA_RESCALE_LIMIT:
+    def _bump_clause(self, ref: int) -> None:
+        activity = self._cla_activity.get(ref, 0.0) + self._cla_inc
+        self._cla_activity[ref] = activity
+        if activity > _CLA_RESCALE_LIMIT:
             for learnt in self._learnts:
-                learnt.activity *= _CLA_RESCALE_FACTOR
+                self._cla_activity[learnt] = (
+                    self._cla_activity.get(learnt, 0.0) * _CLA_RESCALE_FACTOR
+                )
             self._cla_inc *= _CLA_RESCALE_FACTOR
 
     def _decide(self) -> int:
@@ -722,22 +987,68 @@ class Solver:
 
     def _reduce_db(self) -> None:
         """Drop roughly the less active half of the learnt clauses, keeping
-        binary clauses and clauses that are reasons on the current trail."""
-        self._learnts.sort(key=lambda clause: clause.activity)
-        locked = {id(reason) for reason in self._reasons if reason is not None}
+        binary clauses and clauses that are reasons on the current trail.
+
+        Retention is by clause activity, like the reference core —
+        LBD-ordered deletion (Glucose-style) was measured here and lost
+        badly on structured instances (pigeonhole: 3.7x more conflicts),
+        so LBD is recorded per clause (:attr:`_cla_lbd`, surfaced in
+        ``learn`` events) but does not drive deletion."""
+        activities = self._cla_activity
+        arena = self._arena
+        self._learnts.sort(key=lambda ref: activities.get(ref, 0.0))
+        locked = set(self._reasons)
         limit = len(self._learnts) // 2
         removed = 0
-        kept: list[_Clause] = []
-        for clause in self._learnts:
-            if removed < limit and len(clause.lits) > 2 and id(clause) not in locked:
-                self._detach(clause)
-                if self.proof is not None:
-                    self.proof.log_delete(tuple(clause.lits))
+        kept: list[int] = []
+        for ref in self._learnts:
+            if removed < limit and arena[ref] > 2 and ref not in locked:
+                self._delete_clause(ref)
                 removed += 1
             else:
-                kept.append(clause)
+                kept.append(ref)
         self._learnts = kept
         self.stats["deleted"] += removed
+        if self._garbage_words * 2 > len(self._arena):
+            self._collect_garbage()
+
+    def _delete_clause(self, ref: int) -> None:
+        """Detach a learned clause and mark its arena block as garbage."""
+        self._detach(ref)
+        if self.proof is not None:
+            self.proof.log_delete(self.clause_lits(ref))
+        self._arena[ref + 1] |= _DELETED_BIT
+        self._garbage_words += self._arena[ref] + _HEADER_WORDS
+        self._cla_activity.pop(ref, None)
+        self._cla_lbd.pop(ref, None)
+
+    def _collect_garbage(self) -> None:
+        """Compact the arena: copy live clause blocks into a fresh arena
+        and remap every reference (clause lists, watch pairs, reasons,
+        activities).  Runs when over half the arena is deleted blocks;
+        safe at any decision level because trail reasons are remapped."""
+        old = self._arena
+        fresh: list[int] = [0]
+        remap: dict[int, int] = {NO_CLAUSE: NO_CLAUSE}
+        for refs in (self._clauses, self._learnts):
+            for ref in refs:
+                new_ref = len(fresh)
+                remap[ref] = new_ref
+                fresh.extend(old[ref : ref + _HEADER_WORDS + old[ref]])
+        self._arena = fresh
+        self._garbage_words = 0
+        self._clauses = [remap[ref] for ref in self._clauses]
+        self._learnts = [remap[ref] for ref in self._learnts]
+        self._cla_activity = {
+            remap[ref]: activity for ref, activity in self._cla_activity.items()
+        }
+        self._cla_lbd = {remap[ref]: lbd for ref, lbd in self._cla_lbd.items()}
+        self._reasons = [remap[ref] for ref in self._reasons]
+        for watch_lists in (self._watches, self._bwatches):
+            for watchers in watch_lists:
+                for i, entry in enumerate(watchers):
+                    watchers[i] = (remap[entry[0]], entry[1])
+        self.stats["arena_collections"] += 1
 
     # -- the main loop ------------------------------------------------------
 
@@ -766,7 +1077,7 @@ class Solver:
             self._proof_conclude(())
             return UNSAT
         self._model = None
-        if self._propagate() is not None:
+        if self._propagate() != NO_CLAUSE:
             self._unsat = True
             self._failed_assumptions = ()
             self._proof_conclude(())
@@ -776,20 +1087,20 @@ class Solver:
         restart_limit = RESTART_BASE * luby(1)
         conflicts_since_restart = 0
         max_learnts = max(len(self._clauses) // 3, 100)
-        pending: Optional[_Clause] = None
+        pending = NO_CLAUSE
         while True:
-            conflict = pending if pending is not None else self._propagate()
-            pending = None
-            if conflict is None and self.theory is not None and self.theory_eager:
+            conflict = pending if pending != NO_CLAUSE else self._propagate()
+            pending = NO_CLAUSE
+            if conflict == NO_CLAUSE and self.theory is not None and self.theory_eager:
                 conflict = self._theory_check(final=False)
                 if self._unsat:
                     self._failed_assumptions = ()
                     self._cancel_until(0)
                     self._proof_conclude(())
                     return UNSAT
-                if conflict is None and self._qhead < len(self._trail):
+                if conflict == NO_CLAUSE and self._qhead < len(self._trail):
                     continue  # a theory lemma propagated: reach a fixpoint first
-            if conflict is not None:
+            if conflict != NO_CLAUSE:
                 conflicts += 1
                 conflicts_since_restart += 1
                 self.stats["conflicts"] += 1
@@ -797,7 +1108,7 @@ class Solver:
                     self.events.emit(
                         "conflict",
                         level=len(self._trail_lim),
-                        size=len(conflict.lits),
+                        size=self._arena[conflict],
                     )
                 if not self._trail_lim:
                     self._unsat = True
@@ -805,16 +1116,19 @@ class Solver:
                     self._proof_conclude(())
                     return UNSAT
                 learnt, backtrack_level = self._analyze(conflict)
+                # LBD (literal block distance): distinct decision levels
+                # in the learnt clause, read out before the backjump
+                # invalidates the level array.  Deletion is activity-based
+                # (see :meth:`_reduce_db`), so LBD is observability-only —
+                # computed when an event log is listening.
+                lbd = 0
                 if self.events is not None:
-                    # LBD (literal block distance): distinct decision
-                    # levels in the learnt clause, read out before the
-                    # backjump invalidates the level array.
                     lbd = len({self._levels[abs(q)] for q in learnt})
                     self.events.emit(
                         "learn", size=len(learnt), lbd=lbd, backjump=backtrack_level
                     )
                 self._cancel_until(backtrack_level)
-                self._record(learnt)
+                self._record(learnt, lbd)
                 self._var_inc *= _VAR_DECAY
                 self._cla_inc *= _CLA_DECAY
                 if conflict_limit is not None and conflicts >= conflict_limit:
@@ -835,7 +1149,7 @@ class Solver:
             if len(self._trail_lim) < len(assumed):
                 # Decide pending assumptions first, one pseudo-level each.
                 lit = assumed[len(self._trail_lim)]
-                value = self.value(lit)
+                value = self._values[lit]
                 if value == -1:
                     self._failed_assumptions = self._analyze_final(lit)
                     self._cancel_until(0)
@@ -843,7 +1157,7 @@ class Solver:
                     return UNSAT
                 self._trail_lim.append(len(self._trail))
                 if value == 0:
-                    self._assign(lit, None)
+                    self._assign(lit, NO_CLAUSE)
                 continue
             var = self._decide()
             if var == 0:
@@ -855,7 +1169,7 @@ class Solver:
                         self._cancel_until(0)
                         self._proof_conclude(())
                         return UNSAT
-                    if conflict is not None:
+                    if conflict != NO_CLAUSE:
                         pending = conflict
                         continue
                     if self._qhead < len(self._trail):
@@ -871,7 +1185,7 @@ class Solver:
             if self.events is not None:
                 self.events.emit("decision", var=var, level=len(self._trail_lim) + 1)
             self._trail_lim.append(len(self._trail))
-            self._assign(var if self._phase[var] else -var, None)
+            self._assign(var if self._phase[var] else -var, NO_CLAUSE)
 
 
 __all__ = [
@@ -882,5 +1196,6 @@ __all__ = [
     "UNSAT",
     "UNKNOWN",
     "RESTART_BASE",
+    "NO_CLAUSE",
     "luby",
 ]

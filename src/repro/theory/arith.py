@@ -36,6 +36,17 @@ for DPLL(T)", CAV'06), plus branch-and-bound for integer solutions:
   the two cuts are exhaustive over the integers).  An exhausted budget
   degrades to ``unknown`` — the theory stays sound, never complete by
   accident.
+* **Float filter** — every variable keeps a float image of the real
+  part of its exact δ-rational assignment (refreshed at each exact
+  write), and bound values cache a float image on first use.  The
+  bound-violation scan and Bland column selection compare floats first
+  and only fall back to exact ``Fraction`` comparison inside a relative
+  guard band (:data:`_FLOAT_GUARD`): floats *steer* the search to the
+  comparisons that matter, but every decided comparison is provably
+  equal to the exact one (the band dwarfs the 1/2-ulp conversion
+  error), so verdicts never depend on floating point.  Overflowing
+  conversions degrade to ``±inf``, which always lands in the guard band
+  and thus falls back to exact arithmetic.
 * **Backtracking** restores bounds (and the conflict flag) through the
   same undo-log discipline as EUF.  The tableau, the variable
   assignment and all slack definitions persist across ``pop`` — rows
@@ -71,6 +82,23 @@ _ARITH_OPS = ("<", "<=", ">", ">=")
 _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 _NEGATE = {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}
 
+#: Relative guard band for the simplex float filter: a float comparison
+#: whose operands differ by no more than ``_FLOAT_GUARD * (1 + |a| + |b|)``
+#: is treated as undecided and re-run exactly.  The band is ~10⁷ times the
+#: worst-case ``float(Fraction)`` conversion error (1/2 ulp ≈ 1.1e-16
+#: relative), so a float verdict outside the band always matches the
+#: exact one.
+_FLOAT_GUARD = 1e-9
+
+
+def _to_float(value: Fraction) -> float:
+    """Correctly-rounded float image of a rational; ``±inf`` on overflow
+    (always inside the guard band, hence always re-checked exactly)."""
+    try:
+        return float(value)
+    except OverflowError:
+        return float("inf") if value > 0 else float("-inf")
+
 
 def _floor(value: Fraction) -> int:
     return value.numerator // value.denominator
@@ -89,13 +117,25 @@ class DeltaRational:
     (addition, subtraction, scaling by :class:`~fractions.Fraction`).
     """
 
-    __slots__ = ("real", "delta")
+    __slots__ = ("real", "delta", "_freal")
 
     def __init__(
         self, real: Union[int, Fraction], delta: Union[int, Fraction] = 0
     ) -> None:
         self.real = Fraction(real)
         self.delta = Fraction(delta)
+
+    @property
+    def freal(self) -> float:
+        """Float image of the real part, cached on first use — what the
+        simplex float filter compares before falling back to exact
+        arithmetic.  ``±inf`` on overflow."""
+        try:
+            return self._freal
+        except AttributeError:
+            image = _to_float(self.real)
+            self._freal = image
+            return image
 
     def __add__(self, other: "DeltaRational") -> "DeltaRational":
         return DeltaRational(self.real + other.real, self.delta + other.delta)
@@ -166,6 +206,10 @@ class ArithTheory(Theory):
         self._rows: dict[int, dict[int, Fraction]] = {}
         self._cols: dict[int, set[int]] = {}
         self._assign: list[DeltaRational] = []
+        # Float shadow of the real parts of _assign, refreshed at every
+        # exact write.  Assignments are never rolled back by the undo
+        # log, so the shadow needs no undo handling either.
+        self._freal: list[float] = []
         self._lower: dict[int, tuple[DeltaRational, _Lit]] = {}
         self._upper: dict[int, tuple[DeltaRational, _Lit]] = {}
         self._compiled: dict[Term, tuple] = {}
@@ -182,6 +226,8 @@ class ArithTheory(Theory):
             "branches": 0,
             "checks": 0,
             "bb_exhausted": 0,
+            "float_skips": 0,
+            "float_fallbacks": 0,
         }
 
     # -- fragment membership -------------------------------------------------
@@ -239,6 +285,7 @@ class ArithTheory(Theory):
         self._terms.append(term)
         self._is_int.append(is_int)
         self._assign.append(DeltaRational(0))
+        self._freal.append(0.0)
         return index
 
     def _var_index(self, symbol: Symbol) -> int:
@@ -299,6 +346,7 @@ class ArithTheory(Theory):
                         row[column] = updated
         slack = self._new_var(None, is_int)
         self._assign[slack] = value
+        self._freal[slack] = _to_float(value.real)
         self._rows[slack] = row
         for column in row:
             self._cols.setdefault(column, set()).add(slack)
@@ -396,88 +444,162 @@ class ArithTheory(Theory):
 
     def _update(self, var: int, value: DeltaRational) -> None:
         """Move a non-basic variable, carrying every dependent basic."""
-        delta = value - self._assign[var]
+        assign, freal = self._assign, self._freal
+        delta = value - assign[var]
         for basic in self._cols.get(var, ()):
-            self._assign[basic] = self._assign[basic] + delta.scaled(
-                self._rows[basic][var]
-            )
-        self._assign[var] = value
+            moved = assign[basic] + delta.scaled(self._rows[basic][var])
+            assign[basic] = moved
+            freal[basic] = _to_float(moved.real)
+        assign[var] = value
+        freal[var] = _to_float(value.real)
 
     # -- the simplex core ----------------------------------------------------
 
     def _below_upper(self, var: int) -> bool:
+        """Strictly below the upper bound?  Float-filtered: the shadow
+        decides outside the guard band, exact δ-rationals inside it."""
         bound = self._upper.get(var)
-        return bound is None or self._assign[var] < bound[0]
+        if bound is None:
+            return True
+        af = self._freal[var]
+        bf = bound[0].freal
+        band = _FLOAT_GUARD * (1.0 + abs(af) + abs(bf))
+        diff = bf - af
+        if diff > band:
+            self.stats["float_skips"] += 1
+            return True
+        if diff < -band:
+            self.stats["float_skips"] += 1
+            return False
+        self.stats["float_fallbacks"] += 1
+        return self._assign[var] < bound[0]
 
     def _above_lower(self, var: int) -> bool:
+        """Strictly above the lower bound?  Float-filtered like
+        :meth:`_below_upper`."""
         bound = self._lower.get(var)
-        return bound is None or self._assign[var] > bound[0]
+        if bound is None:
+            return True
+        af = self._freal[var]
+        bf = bound[0].freal
+        band = _FLOAT_GUARD * (1.0 + abs(af) + abs(bf))
+        diff = af - bf
+        if diff > band:
+            self.stats["float_skips"] += 1
+            return True
+        if diff < -band:
+            self.stats["float_skips"] += 1
+            return False
+        self.stats["float_fallbacks"] += 1
+        return self._assign[var] > bound[0]
 
     def _simplex(self) -> Optional[list[_Lit]]:
         """Pivot to feasibility; ``None`` when feasible, otherwise the
-        infeasibility explanation (a list of bound literals)."""
-        while True:
-            violated: Optional[tuple[int, bool]] = None
-            for basic in sorted(self._rows):
-                value = self._assign[basic]
-                low = self._lower.get(basic)
-                if low is not None and value < low[0]:
-                    violated = (basic, True)
-                    break
-                high = self._upper.get(basic)
-                if high is not None and value > high[0]:
-                    violated = (basic, False)
-                    break
-            if violated is None:
-                return None
-            basic, need_increase = violated
-            row = self._rows[basic]
-            chosen: Optional[int] = None
-            for column in sorted(row):  # Bland's rule: smallest index
-                coeff = row[column]
-                if need_increase:
-                    suitable = (coeff > 0 and self._below_upper(column)) or (
-                        coeff < 0 and self._above_lower(column)
-                    )
-                else:
-                    suitable = (coeff < 0 and self._below_upper(column)) or (
-                        coeff > 0 and self._above_lower(column)
-                    )
-                if suitable:
-                    chosen = column
-                    break
-            if chosen is None:
-                # Every row variable is at its limiting bound: the row is
-                # an inconsistent combination of exactly these bounds.
-                if need_increase:
-                    explanation = [self._lower[basic][1]]
-                    for column in sorted(row):
-                        side = self._upper if row[column] > 0 else self._lower
-                        explanation.append(side[column][1])
-                else:
-                    explanation = [self._upper[basic][1]]
-                    for column in sorted(row):
-                        side = self._lower if row[column] > 0 else self._upper
-                        explanation.append(side[column][1])
-                return explanation
-            target = (
-                self._lower[basic][0] if need_increase else self._upper[basic][0]
-            )
-            self._pivot_and_update(basic, chosen, target)
-            self.stats["pivots"] += 1
+        infeasibility explanation (a list of bound literals).
+
+        The violated-row scan runs on the float shadow: a row whose float
+        image sits decisively inside (or outside) its bounds never touches
+        exact arithmetic; only comparisons inside the guard band re-run on
+        the δ-rationals.  Floats pick where to look — every verdict that
+        reaches the caller is exact."""
+        freal = self._freal
+        guard = _FLOAT_GUARD
+        skips = 0
+        fallbacks = 0
+        try:
+            while True:
+                violated: Optional[tuple[int, bool]] = None
+                for basic in sorted(self._rows):
+                    af = freal[basic]
+                    low = self._lower.get(basic)
+                    if low is not None:
+                        bf = low[0].freal
+                        band = guard * (1.0 + abs(af) + abs(bf))
+                        diff = af - bf
+                        if diff < -band:
+                            skips += 1
+                            violated = (basic, True)
+                            break
+                        if diff <= band:
+                            fallbacks += 1
+                            if self._assign[basic] < low[0]:
+                                violated = (basic, True)
+                                break
+                        else:
+                            skips += 1
+                    high = self._upper.get(basic)
+                    if high is not None:
+                        bf = high[0].freal
+                        band = guard * (1.0 + abs(af) + abs(bf))
+                        diff = af - bf
+                        if diff > band:
+                            skips += 1
+                            violated = (basic, False)
+                            break
+                        if diff >= -band:
+                            fallbacks += 1
+                            if self._assign[basic] > high[0]:
+                                violated = (basic, False)
+                                break
+                        else:
+                            skips += 1
+                if violated is None:
+                    return None
+                basic, need_increase = violated
+                row = self._rows[basic]
+                chosen: Optional[int] = None
+                for column in sorted(row):  # Bland's rule: smallest index
+                    coeff = row[column]
+                    if need_increase:
+                        suitable = (coeff > 0 and self._below_upper(column)) or (
+                            coeff < 0 and self._above_lower(column)
+                        )
+                    else:
+                        suitable = (coeff < 0 and self._below_upper(column)) or (
+                            coeff > 0 and self._above_lower(column)
+                        )
+                    if suitable:
+                        chosen = column
+                        break
+                if chosen is None:
+                    # Every row variable is at its limiting bound: the row is
+                    # an inconsistent combination of exactly these bounds.
+                    if need_increase:
+                        explanation = [self._lower[basic][1]]
+                        for column in sorted(row):
+                            side = self._upper if row[column] > 0 else self._lower
+                            explanation.append(side[column][1])
+                    else:
+                        explanation = [self._upper[basic][1]]
+                        for column in sorted(row):
+                            side = self._lower if row[column] > 0 else self._upper
+                            explanation.append(side[column][1])
+                    return explanation
+                target = (
+                    self._lower[basic][0] if need_increase else self._upper[basic][0]
+                )
+                self._pivot_and_update(basic, chosen, target)
+                self.stats["pivots"] += 1
+        finally:
+            self.stats["float_skips"] += skips
+            self.stats["float_fallbacks"] += fallbacks
 
     def _pivot_and_update(self, basic: int, entering: int, value: DeltaRational) -> None:
         row = self._rows[basic]
         coeff = row[entering]
-        theta = (value - self._assign[basic]).scaled(Fraction(1) / coeff)
+        assign, freal = self._assign, self._freal
+        theta = (value - assign[basic]).scaled(Fraction(1) / coeff)
         # Assignments first (they need the old column index).
-        self._assign[basic] = value
+        assign[basic] = value
+        freal[basic] = _to_float(value.real)
         for other in self._cols.get(entering, ()):
             if other != basic:
-                self._assign[other] = self._assign[other] + theta.scaled(
-                    self._rows[other][entering]
-                )
-        self._assign[entering] = self._assign[entering] + theta
+                moved = assign[other] + theta.scaled(self._rows[other][entering])
+                assign[other] = moved
+                freal[other] = _to_float(moved.real)
+        entered = assign[entering] + theta
+        assign[entering] = entered
+        freal[entering] = _to_float(entered.real)
         # Structural pivot: solve ``basic``'s row for ``entering`` ...
         del self._rows[basic]
         for column in row:
