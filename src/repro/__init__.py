@@ -12,12 +12,18 @@ Subpackages and modules:
   ``check-sat`` / ``get-model`` / ``get-value`` / ``push`` / ``pop`` and
   decides quantifier-free boolean structure (``python -m repro`` is the
   CLI).
+* :mod:`repro.portfolio` — parallel portfolio solving: races diversified
+  :class:`~repro.sat.SolverConfig` strategies across worker processes
+  with cooperative cancellation and optional learned-clause sharing.
 * :mod:`repro.errors` — the shared exception hierarchy.
 """
 
 from . import errors
 from .engine import CheckSatResult, Engine, ScriptResult, run_script, solve_script
 from .errors import ReproError, SmtLibError, SolverError
+from .limits import ensure_recursion_limit
+from .portfolio import PortfolioOutcome, solve_portfolio
+from .sat import SolverConfig
 
 __version__ = "0.1.0"
 
@@ -31,5 +37,9 @@ __all__ = [
     "ScriptResult",
     "run_script",
     "solve_script",
+    "SolverConfig",
+    "PortfolioOutcome",
+    "solve_portfolio",
+    "ensure_recursion_limit",
     "__version__",
 ]

@@ -46,10 +46,21 @@ Exit status: 0 on success, 1 when any file failed to read, parse or
 type-check (or ``--check-proofs`` rejected a proof), 2 when
 ``--strict-status`` found a contradicted annotation.
 
+Parallelism and budgets:
+
+* ``--timeout SECS`` gives each script a wall-clock budget; expired
+  checks answer ``unknown`` with reason ``timeout``.
+* ``--portfolio N`` races N diversified solver configurations in worker
+  processes, first definitive answer wins (losers are cancelled
+  cooperatively); ``--share-clauses`` additionally broadcasts short
+  learnt clauses between the workers.  ``--dimacs``/``--trace`` are
+  sequential-only.
+
 Usage::
 
     python -m repro file.smt2 [more.smt2 ...] [--stats] [--stats-json]
                     [--trace FILE] [--profile] [--conflict-limit N]
+                    [--timeout SECS] [--portfolio N] [--share-clauses]
                     [--dimacs PATH] [--proof PATH] [--check-proofs]
                     [--strict-status]
 """
@@ -64,6 +75,8 @@ from typing import Any, Optional
 
 from .engine import Engine
 from .errors import ReproError
+from .limits import ensure_recursion_limit
+from .portfolio import solve_portfolio
 from .obs import (
     EventLog,
     Observability,
@@ -89,6 +102,27 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=None,
         metavar="N",
         help="answer unknown after N CDCL conflicts per check-sat",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="wall-clock budget per script; expired checks answer unknown "
+        "with reason timeout",
+    )
+    parser.add_argument(
+        "--portfolio",
+        type=int,
+        default=None,
+        metavar="N",
+        help="race N diversified solver configurations in worker processes; "
+        "the first definitive answer wins",
+    )
+    parser.add_argument(
+        "--share-clauses",
+        action="store_true",
+        help="with --portfolio, share short learnt clauses between workers",
     )
     parser.add_argument(
         "--stats",
@@ -139,8 +173,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    # Every pass is recursive over term depth; generated scripts nest deeply.
-    sys.setrecursionlimit(1_000_000)
+    racing = args.portfolio is not None and args.portfolio > 1
+    if racing and (args.dimacs is not None or args.trace is not None):
+        parser.error("--dimacs and --trace are sequential-only: they expose "
+                     "worker-local solver state that a portfolio race does "
+                     "not keep")
+
+    # Every pass is recursive over term depth; generated scripts nest
+    # deeply.  The bounded guard also applies inside Engine.run and the
+    # portfolio worker bootstrap, so the CLI is no longer special.
+    ensure_recursion_limit()
 
     events = EventLog(args.trace) if args.trace is not None else None
     tracing = args.profile or args.stats_json or events is not None
@@ -169,12 +211,28 @@ def main(argv: Optional[list[str]] = None) -> int:
                     else None
                 )
                 produce_proofs = args.proof is not None or args.check_proofs
-                engine = Engine(
-                    conflict_limit=args.conflict_limit,
-                    obs=obs,
-                    produce_proofs=produce_proofs,
-                )
-                result = engine.run(script)
+                outcome = None
+                if racing:
+                    outcome = solve_portfolio(
+                        script,
+                        workers=args.portfolio,
+                        conflict_limit=args.conflict_limit,
+                        timeout=args.timeout,
+                        obs=obs,
+                        produce_proofs=produce_proofs,
+                        share_clauses=args.share_clauses,
+                    )
+                    result = outcome.result
+                    final_metrics = obs.metrics.snapshot() if obs is not None else {}
+                else:
+                    engine = Engine(
+                        conflict_limit=args.conflict_limit,
+                        obs=obs,
+                        produce_proofs=produce_proofs,
+                        timeout=args.timeout,
+                    )
+                    result = engine.run(script)
+                    final_metrics = engine.metrics.snapshot()
             finally:
                 if tracer is not None:
                     set_current_tracer(previous)
@@ -228,6 +286,17 @@ def main(argv: Optional[list[str]] = None) -> int:
                             check.proof.to_drat(include_inputs=True),
                             encoding="utf-8",
                         )
+            if args.stats and not args.stats_json and outcome is not None:
+                winner = outcome.reports[outcome.winner]
+                statuses = ", ".join(
+                    f"w{report.index}={report.status}"
+                    for report in outcome.reports
+                )
+                print(
+                    f"; portfolio: winner w{outcome.winner} "
+                    f"({winner.config.name}) in {outcome.elapsed:.2f}s "
+                    f"[{statuses}]"
+                )
             if args.stats and not args.stats_json:
                 for check_index, check in enumerate(result.check_results):
                     stats = check.stats
@@ -270,7 +339,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                             for check in result.check_results
                         ],
                         "phases": phases,
-                        "metrics": engine.metrics.snapshot(),
+                        "metrics": final_metrics,
                     }
                 )
             if args.dimacs is not None:

@@ -36,22 +36,25 @@ Answer semantics stay *sound*:
   assertion.  The validation runs inside the engine; a model that cannot
   be built or checked demotes the answer to ``unknown``.
 * anything else — ``unknown`` with a reason (``abstracted-atoms``,
-  ``conflict-limit``, ``branch-budget-exhausted``,
-  ``model-construction-failed``, ``model-validation-failed``).
+  ``conflict-limit``, ``timeout``, ``cancelled``,
+  ``branch-budget-exhausted``, ``model-construction-failed``,
+  ``model-validation-failed``).
 """
 
 from __future__ import annotations
 
+from time import monotonic
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 from ..errors import EvaluationError, SolverError
+from ..limits import ensure_recursion_limit
 from ..obs import Observability
 from ..obs.events import EventLog
 from ..obs.metrics import MetricsRegistry
 from ..obs.profile import phase_totals
 from ..obs.spans import get_current_tracer, set_current_tracer, trace_span
 from ..proof.log import INPUT, Proof, ProofLog, ProofStep
-from ..sat import SAT, UNKNOWN, UNSAT, Solver, TheoryHook, TheoryLemma
+from ..sat import SAT, UNKNOWN, UNSAT, Solver, SolverConfig, TheoryHook, TheoryLemma
 from ..sat.dimacs import to_dimacs
 from ..smtlib.cnf import skeleton_atoms
 from ..smtlib.evaluate import FunctionInterpretation, evaluate
@@ -236,6 +239,19 @@ class Engine:
     enables ``:named``-assertion core extraction and ``(get-unsat-core)``
     (equivalent to ``(set-option :produce-unsat-cores true)``, which may
     also toggle it mid-script).
+
+    ``config`` selects the SAT core's search strategy (see
+    :class:`~repro.sat.SolverConfig`; the default reproduces the
+    historical behavior exactly).  ``timeout`` is a wall-clock budget in
+    seconds for the whole :meth:`run` — once it expires, in-flight and
+    subsequent ``check-sat`` commands answer ``unknown`` with reason
+    ``timeout``.  ``interrupt`` is a zero-argument callable polled at
+    search boundaries; returning true stops the current search with
+    reason ``cancelled`` (the portfolio's cooperative-cancellation hook).
+    ``on_restart``/``share_max_lbd`` wire up learned-clause sharing: the
+    callback fires at every restart with the solver at decision level 0,
+    and a non-``None`` LBD bound turns on export of short learnt clauses
+    over input-safe variables (see :meth:`~repro.sat.Solver.drain_exported`).
     """
 
     def __init__(
@@ -245,18 +261,31 @@ class Engine:
         obs: Optional[Observability] = None,
         produce_proofs: bool = False,
         produce_unsat_cores: bool = False,
+        config: Optional[SolverConfig] = None,
+        timeout: Optional[float] = None,
+        interrupt: Optional[Callable[[], bool]] = None,
+        on_restart: Optional[Callable[[Solver], None]] = None,
+        share_max_lbd: Optional[int] = None,
     ) -> None:
         self._conflict_limit = conflict_limit
         self._theory_eager = theory_eager
         self._obs = obs if obs is not None else Observability()
         self._produce_proofs = produce_proofs
         self._produce_cores_default = produce_unsat_cores
+        self._config = config
+        self._timeout = timeout
+        self._interrupt = interrupt
+        self._on_restart = on_restart
+        self._share_max_lbd = share_max_lbd
+        self._deadline: Optional[float] = None
         self._reset()
 
     def _reset(self) -> None:
         self._frames: list[Frame] = [Frame()]
-        self._solver = Solver()
+        self._solver = Solver(config=self._config)
         self._solver.events = self._obs.events
+        self._solver.on_restart = self._on_restart
+        self._solver.share_max_lbd = self._share_max_lbd
         self._registry = AtomRegistry()
         # The blaster and the array-lemma state outlive individual checks:
         # blasted circuits are memoized on hash-consed terms, and emitted
@@ -358,7 +387,12 @@ class Engine:
 
     def run(self, script: Script) -> ScriptResult:
         """Execute every command of ``script`` and collect the results."""
+        # The term pipeline recurses over term depth; guard here so every
+        # caller (API, CLI, portfolio worker) gets the same headroom.
+        ensure_recursion_limit()
         self._reset()
+        if self._timeout is not None:
+            self._deadline = monotonic() + self._timeout
         result = ScriptResult()
         tracer = self._obs.tracer
         previous = set_current_tracer(tracer) if tracer is not None else None
@@ -533,6 +567,16 @@ class Engine:
         mid-search.  Lemma atoms are always leaves (equalities, predicate
         applications), so encoding allocates a variable and no gate
         clauses; the assertion guards that invariant."""
+        if self._share_max_lbd is not None:
+            # Mid-search lemma atoms are the first point where variable
+            # numbering can diverge between portfolio workers (which
+            # trajectory hits which lemma first is config-dependent), so
+            # clamp the clause-sharing export cap to the variables that
+            # were allocated deterministically before this one.
+            cap = self._solver.share_var_cap
+            current = self._registry.num_vars
+            if cap is None or cap > current:
+                self._solver.share_var_cap = current
         var = self._registry.encode(atom)
         gates = self._registry.drain_clauses()
         assert not gates, "theory lemmas must range over atomic literals"
@@ -714,6 +758,8 @@ class Engine:
             answer = self._solver.solve(
                 conflict_limit=self._conflict_limit,
                 assumptions=assumptions,
+                deadline=self._deadline,
+                interrupt=self._interrupt,
             )
         delta = metrics.delta(before)
         stats = self._legacy_stats(delta)
@@ -768,7 +814,9 @@ class Engine:
                     )
             return outcome("unsat", proof=proof, unsat_core=core)
         if answer == UNKNOWN:
-            return outcome("unknown", reason="conflict-limit")
+            return outcome(
+                "unknown", reason=self._solver.stop_reason or "conflict-limit"
+            )
         assert answer == SAT
         if unowned:
             return outcome("unknown", reason="abstracted-atoms")
@@ -1037,6 +1085,10 @@ def run_script(
     trace: Optional[Union[str, "EventLog"]] = None,
     produce_proofs: bool = False,
     produce_unsat_cores: bool = False,
+    config: Optional[SolverConfig] = None,
+    timeout: Optional[float] = None,
+    portfolio: Optional[int] = None,
+    share_clauses: bool = False,
 ) -> ScriptResult:
     """Parse (when given text) and execute a script; return the full
     :class:`ScriptResult` including printable output.
@@ -1050,7 +1102,32 @@ def run_script(
     ``produce_proofs``/``produce_unsat_cores`` enable certification
     artifacts from the outside, exactly like the corresponding
     ``set-option`` commands at the top of the script.
+
+    ``config`` and ``timeout`` pass through to :class:`Engine`.
+    ``portfolio`` (≥ 2) instead races that many diversified solver
+    processes and returns the winner's result (see
+    :func:`repro.portfolio.solve_portfolio`); ``share_clauses`` turns on
+    learned-clause sharing between the workers.  ``trace`` and ``config``
+    are sequential-only and rejected under ``portfolio``.
     """
+    if portfolio is not None and portfolio > 1:
+        if trace is not None or config is not None:
+            raise ValueError(
+                "trace= and config= are sequential-only; the portfolio "
+                "runner manages per-worker configs and observability"
+            )
+        from ..portfolio import solve_portfolio
+
+        return solve_portfolio(
+            source,
+            workers=portfolio,
+            conflict_limit=conflict_limit,
+            timeout=timeout,
+            obs=obs,
+            produce_proofs=produce_proofs,
+            produce_unsat_cores=produce_unsat_cores,
+            share_clauses=share_clauses,
+        ).result
     own_log: Optional[EventLog] = None
     if trace is not None:
         if isinstance(trace, EventLog):
@@ -1066,6 +1143,8 @@ def run_script(
         obs=obs,
         produce_proofs=produce_proofs,
         produce_unsat_cores=produce_unsat_cores,
+        config=config,
+        timeout=timeout,
     )
     tracer = engine.obs.tracer
     previous = set_current_tracer(tracer) if tracer is not None else None
@@ -1096,6 +1175,10 @@ def solve_script(
     trace: Optional[Union[str, "EventLog"]] = None,
     produce_proofs: bool = False,
     produce_unsat_cores: bool = False,
+    config: Optional[SolverConfig] = None,
+    timeout: Optional[float] = None,
+    portfolio: Optional[int] = None,
+    share_clauses: bool = False,
 ) -> list[CheckSatResult]:
     """Execute a script and return one :class:`CheckSatResult` per
     ``(check-sat)``, in script order.  Keyword arguments as in
@@ -1107,6 +1190,10 @@ def solve_script(
         trace=trace,
         produce_proofs=produce_proofs,
         produce_unsat_cores=produce_unsat_cores,
+        config=config,
+        timeout=timeout,
+        portfolio=portfolio,
+        share_clauses=share_clauses,
     ).check_results
 
 

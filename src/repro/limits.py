@@ -1,0 +1,46 @@
+"""Process-level resource guards shared by every entry point.
+
+The term pipeline (parse → typecheck → prepare → NNF → Tseitin) is
+recursive over term depth, and generated scripts nest deeply — a 4000-long
+xor chain recurses tens of thousands of frames through ``to_nnf``.  The
+CLI used to band-aid this with ``sys.setrecursionlimit(1_000_000)``, which
+left library callers (and portfolio worker processes) to crash with
+``RecursionError`` on the very same scripts, while a million frames is
+deep enough to exhaust the C stack and hard-crash CPython outright on
+some platforms.
+
+:func:`ensure_recursion_limit` is the one guard, applied where the
+recursion actually lives: :meth:`repro.engine.Engine.run` (every solve
+path, API or CLI, goes through it), the portfolio worker bootstrap, and
+``python -m repro``.  It only ever *raises* the limit — a caller that
+installed a higher one keeps it — and it is bounded: 100k Python frames
+live on the heap (cheap in CPython ≥ 3.11) and cover every workload in
+the corpus and benchmark suites with an order of magnitude to spare,
+without handing runaway recursion enough rope to take the interpreter
+down with it.
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: Deep enough for every corpus/benchmark workload (the deepest, a
+#: 20k-node simplify chain, stays well under half of it); bounded enough
+#: that true runaway recursion still dies as a ``RecursionError`` instead
+#: of a C-stack overflow.
+DEFAULT_RECURSION_LIMIT = 100_000
+
+
+def ensure_recursion_limit(limit: int = DEFAULT_RECURSION_LIMIT) -> int:
+    """Raise the interpreter recursion limit to at least ``limit``.
+
+    Never lowers an already-higher limit.  Returns the limit in effect
+    after the call."""
+    current = sys.getrecursionlimit()
+    if current < limit:
+        sys.setrecursionlimit(limit)
+        return limit
+    return current
+
+
+__all__ = ["DEFAULT_RECURSION_LIMIT", "ensure_recursion_limit"]

@@ -14,11 +14,14 @@ term skeletons to this representation and :mod:`repro.engine` maps models
 back to SMT-LIB constants.
 """
 
+from .config import DEFAULT_CONFIG, SolverConfig
 from .dimacs import from_dimacs, to_dimacs
 from .solver import SAT, UNKNOWN, UNSAT, Solver, TheoryHook, TheoryLemma, luby
 
 __all__ = [
     "Solver",
+    "SolverConfig",
+    "DEFAULT_CONFIG",
     "TheoryHook",
     "TheoryLemma",
     "SAT",

@@ -19,7 +19,8 @@ proof hooks), so the two are drop-in interchangeable.
 from __future__ import annotations
 
 from heapq import heapify, heappop, heappush
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+from time import monotonic
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from .solver import (
     RESTART_BASE,
@@ -76,7 +77,13 @@ class ReferenceSolver:
     learned clauses persist between calls.
     """
 
-    def __init__(self, num_vars: int = 0) -> None:
+    def __init__(self, num_vars: int = 0, config: Optional[object] = None) -> None:
+        # The reference core is the executable spec of the *default*
+        # strategy only; diversified configs belong to the production core.
+        if config is not None and not getattr(config, "is_default", False):
+            raise NotImplementedError(
+                "ReferenceSolver implements only the default SolverConfig"
+            )
         self._num_vars = 0
         # Indexed by variable; slot 0 is unused padding.
         self._values: list[int] = [0]  # 0 unassigned, 1 true, -1 false
@@ -119,6 +126,17 @@ class ReferenceSolver:
         #: core), so ``proof.snapshot(...)`` is independently checkable by
         #: :func:`repro.proof.check_proof`.
         self.proof: Optional["ProofLog"] = None
+        #: Mirrors :attr:`repro.sat.Solver.stop_reason`: why the last
+        #: :meth:`solve` returned :data:`UNKNOWN` (``"conflict-limit"``,
+        #: ``"timeout"`` or ``"cancelled"``), ``None`` otherwise.
+        self.stop_reason: Optional[str] = None
+        #: Contract parity with the production core; the reference spec
+        #: accepts the portfolio hooks but implements no clause sharing.
+        self.on_restart = None
+        self.share_max_lbd: Optional[int] = None
+        self.share_var_cap: Optional[int] = None
+        self._deadline: Optional[float] = None
+        self._interrupt: Optional[Callable[[], bool]] = None
         self.stats: dict[str, int] = {
             "decisions": 0,
             "conflicts": 0,
@@ -660,25 +678,41 @@ class ReferenceSolver:
 
     # -- the main loop ------------------------------------------------------
 
+    def _budget_stop(self) -> Optional[str]:
+        """Why the search must stop now, or ``None``; polled at conflict
+        and restart boundaries (mirrors the production core)."""
+        if self._deadline is not None and monotonic() >= self._deadline:
+            return "timeout"
+        if self._interrupt is not None and self._interrupt():
+            return "cancelled"
+        return None
+
     def solve(
         self,
         conflict_limit: Optional[int] = None,
         assumptions: Sequence[int] = (),
+        deadline: Optional[float] = None,
+        interrupt: Optional[Callable[[], bool]] = None,
     ) -> str:
         """Decide the conjunction of all added clauses under ``assumptions``.
 
         Returns :data:`SAT` (a model is available via :attr:`model`),
         :data:`UNSAT` (with :attr:`failed_assumptions` populated when
-        assumptions were involved), or :data:`UNKNOWN` when
-        ``conflict_limit`` conflicts were exhausted first.  Always returns
-        at decision level 0; learned clauses, activities and theory lemmas
-        persist for the next call.
+        assumptions were involved), or :data:`UNKNOWN` when a budget ran
+        out first — ``conflict_limit`` conflicts, the ``deadline``
+        (:func:`time.monotonic`), or the ``interrupt`` callback; which one
+        is recorded in :attr:`stop_reason`.  Always returns at decision
+        level 0; learned clauses, activities and theory lemmas persist for
+        the next call.
         """
         assumed = [int(lit) for lit in assumptions]
         for lit in assumed:
             if lit == 0:
                 raise ValueError("0 is not a literal")
             self.ensure_vars(abs(lit))
+        self.stop_reason = None
+        self._deadline = deadline
+        self._interrupt = interrupt
         self._failed_assumptions = None
         if self._unsat:
             self._failed_assumptions = ()
@@ -737,6 +771,12 @@ class ReferenceSolver:
                 self._var_inc *= _VAR_DECAY
                 self._cla_inc *= _CLA_DECAY
                 if conflict_limit is not None and conflicts >= conflict_limit:
+                    self.stop_reason = "conflict-limit"
+                    self._cancel_until(0)
+                    return UNKNOWN
+                stop = self._budget_stop()
+                if stop is not None:
+                    self.stop_reason = stop
                     self._cancel_until(0)
                     return UNKNOWN
                 continue
@@ -748,6 +788,10 @@ class ReferenceSolver:
                 if self.events is not None:
                     self.events.emit("restart", conflicts=conflicts)
                 self._cancel_until(0)
+                stop = self._budget_stop()
+                if stop is not None:
+                    self.stop_reason = stop
+                    return UNKNOWN
                 continue
             if len(self._learnts) - len(self._trail) >= max_learnts:
                 self._reduce_db()

@@ -98,7 +98,11 @@ from __future__ import annotations
 
 from array import array
 from heapq import heapify, heappop, heappush
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+from random import Random
+from time import monotonic
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from .config import DEFAULT_CONFIG, SolverConfig
 
 if TYPE_CHECKING:  # event emission / proof logging are optional attachments
     from ..obs.events import EventLog
@@ -201,7 +205,19 @@ class Solver:
     learned clauses persist between calls.
     """
 
-    def __init__(self, num_vars: int = 0) -> None:
+    def __init__(
+        self, num_vars: int = 0, config: Optional[SolverConfig] = None
+    ) -> None:
+        #: Search-strategy knobs (see :class:`~repro.sat.SolverConfig`).
+        #: The default config reproduces the historical solver bit for
+        #: bit — no RNG is constructed and every branch below compiles to
+        #: the pre-config behavior.
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self._rng: Optional[Random] = (
+            Random(self.config.seed) if self.config.needs_rng else None
+        )
+        self._var_decay_mult = 1.0 / self.config.var_decay
+        self._phase_true_init = self.config.phase_init == "true"
         self._num_vars = 0
         # Literal-indexed tables (capacity > 2*num_vars): literal +v at
         # index v, literal -v at index capacity-v, so plain values[lit]
@@ -263,6 +279,32 @@ class Solver:
         #: core), so ``proof.snapshot(...)`` is independently checkable by
         #: :func:`repro.proof.check_proof`.
         self.proof: Optional["ProofLog"] = None
+        #: Why the last :meth:`solve` returned :data:`UNKNOWN` —
+        #: ``"conflict-limit"``, ``"timeout"`` or ``"cancelled"``;
+        #: ``None`` after a definitive answer.
+        self.stop_reason: Optional[str] = None
+        #: Hook invoked at every restart boundary, with the trail already
+        #: unwound to level 0 — the safe point for cooperative work: the
+        #: portfolio runner drains/imports shared clauses here.  The hook
+        #: may call :meth:`import_clauses`; a level-0 conflict it causes
+        #: is noticed immediately after the hook returns.
+        self.on_restart: Optional[Callable[["Solver"], None]] = None
+        #: Learned-clause sharing (portfolio): when ``share_max_lbd`` is
+        #: set, learned clauses with at most that LBD, at most
+        #: ``share_max_size`` literals and no variable above
+        #: ``share_var_cap`` are buffered for :meth:`drain_exported`.
+        #: The cap keeps sharing *input-safe*: variables allocated before
+        #: the search are numbered identically in every worker (the
+        #: encoding pipeline is deterministic), while variables minted
+        #: mid-search (theory-lemma atoms) diverge per trajectory and
+        #: must never cross process boundaries.
+        self.share_max_lbd: Optional[int] = None
+        self.share_max_size: int = 8
+        self.share_var_cap: Optional[int] = None
+        self._share_out: list[tuple[int, ...]] = []
+        self._imported: set[tuple[int, ...]] = set()
+        self._deadline: Optional[float] = None
+        self._interrupt: Optional[Callable[[], bool]] = None
         self.stats: dict[str, int] = {
             "decisions": 0,
             "conflicts": 0,
@@ -276,6 +318,9 @@ class Solver:
             "theory_conflicts": 0,
             "blocker_skips": 0,
             "arena_collections": 0,
+            "random_decisions": 0,
+            "shared_exported": 0,
+            "shared_imported": 0,
         }
         if num_vars:
             self.ensure_vars(num_vars)
@@ -300,7 +345,12 @@ class Solver:
         self._levels.append(0)
         self._reasons.append(NO_CLAUSE)
         self._activity.append(0.0)
-        self._phase.append(0)
+        if self._phase_true_init:
+            self._phase.append(1)
+        elif self._rng is not None and self.config.phase_init == "random":
+            self._phase.append(self._rng.getrandbits(1))
+        else:
+            self._phase.append(0)
         self._seen.append(0)
         heappush(self._order, (0.0, var))
         return var
@@ -431,6 +481,47 @@ class Solver:
         for lits in clauses:
             ok = self.add_clause(lits) and ok
         return ok
+
+    # -- learned-clause sharing (portfolio) ---------------------------------
+
+    def drain_exported(self) -> list[tuple[int, ...]]:
+        """Clauses learned since the last drain that passed the sharing
+        filter (LBD/size/variable caps).  Empty unless ``share_max_lbd``
+        is set."""
+        out, self._share_out = self._share_out, []
+        return out
+
+    def import_clauses(
+        self, clauses: Iterable[Sequence[int]], source: str = "portfolio"
+    ) -> int:
+        """Integrate clauses learned by another solver of the *same*
+        formula (same variable numbering below the sharing cap).
+
+        Must be called at decision level 0 — the :attr:`on_restart` hook
+        is the intended site.  Each clause joins the problem clauses like
+        a theory lemma (valid, never deleted) and is recorded in the
+        proof log as a ``lemma`` step with ``source`` provenance, keeping
+        the log independently checkable: imports are axioms certified by
+        the exporting worker's own proof.  Duplicate imports are skipped.
+        Returns the number of clauses integrated; may set the permanent
+        unsat flag (a level-0 conflict is a genuine refutation).
+        """
+        if self._trail_lim:
+            raise ValueError("clauses can only be imported at decision level 0")
+        imported = 0
+        for lits in clauses:
+            key = tuple(sorted(lits))
+            if key in self._imported or self._unsat:
+                continue
+            self._imported.add(key)
+            clause = [int(lit) for lit in lits]
+            if self.proof is not None:
+                self.proof.log_lemma(clause, source)
+            self._integrate_lemma(clause)
+            imported += 1
+        if imported:
+            self.stats["shared_imported"] += imported
+        return imported
 
     def _attach(self, ref: int) -> None:
         """Watch the clause's first two literals, each entry carrying the
@@ -803,6 +894,15 @@ class Solver:
         self.stats["learned"] += 1
         if self.proof is not None:
             self.proof.log_rup(lits)
+        if (
+            self.share_max_lbd is not None
+            and lbd <= self.share_max_lbd
+            and len(lits) <= self.share_max_size
+        ):
+            cap = self.share_var_cap
+            if cap is None or all(-cap <= lit <= cap for lit in lits):
+                self._share_out.append(tuple(lits))
+                self.stats["shared_exported"] += 1
         if len(lits) == 1:
             self._assign(lits[0], NO_CLAUSE)
             return
@@ -983,6 +1083,21 @@ class Solver:
                 return var
         return 0
 
+    def _random_unassigned(self, rng: Random) -> int:
+        """A random unassigned variable via a few probes, or 0 to fall back
+        to VSIDS.  Probing keeps the noisy-decision path O(1); when most
+        variables are assigned the probes miss and the caller's VSIDS pick
+        (which must scan anyway) takes over."""
+        num_vars = self._num_vars
+        if num_vars == 0:
+            return 0
+        values = self._values
+        for _ in range(8):
+            var = rng.randint(1, num_vars)
+            if values[var] == 0:
+                return var
+        return 0
+
     # -- learned-clause reduction -------------------------------------------
 
     def _reduce_db(self) -> None:
@@ -1052,25 +1167,59 @@ class Solver:
 
     # -- the main loop ------------------------------------------------------
 
+    def _restart_interval(self, restarts: int) -> int:
+        """Conflicts until restart number ``restarts + 1`` fires, under the
+        configured series (Luby by default, geometric for portfolio
+        diversification)."""
+        cfg = self.config
+        if cfg.restart == "geometric":
+            return int(cfg.restart_base * cfg.restart_factor**restarts)
+        return cfg.restart_base * luby(restarts + 1)
+
+    def _budget_stop(self) -> Optional[str]:
+        """Why the search must stop now (``"timeout"``/``"cancelled"``),
+        or ``None`` to keep going.  Polled at conflict and restart
+        boundaries, before final theory checks, and every few hundred
+        decisions — cheap enough per call that propagation dominates."""
+        if self._deadline is not None and monotonic() >= self._deadline:
+            return "timeout"
+        if self._interrupt is not None and self._interrupt():
+            return "cancelled"
+        return None
+
     def solve(
         self,
         conflict_limit: Optional[int] = None,
         assumptions: Sequence[int] = (),
+        deadline: Optional[float] = None,
+        interrupt: Optional[Callable[[], bool]] = None,
     ) -> str:
         """Decide the conjunction of all added clauses under ``assumptions``.
 
         Returns :data:`SAT` (a model is available via :attr:`model`),
         :data:`UNSAT` (with :attr:`failed_assumptions` populated when
-        assumptions were involved), or :data:`UNKNOWN` when
-        ``conflict_limit`` conflicts were exhausted first.  Always returns
-        at decision level 0; learned clauses, activities and theory lemmas
-        persist for the next call.
+        assumptions were involved), or :data:`UNKNOWN` when a budget ran
+        out first — ``conflict_limit`` conflicts, the ``deadline`` (a
+        :func:`time.monotonic` instant), or the ``interrupt`` callback
+        returning true (the portfolio cancellation hook).  Which budget
+        fired is recorded in :attr:`stop_reason` (``"conflict-limit"``,
+        ``"timeout"`` or ``"cancelled"``).  Always returns at decision
+        level 0 — including when unwound by ``KeyboardInterrupt``/SIGTERM,
+        so an interrupted solver stays reusable; learned clauses,
+        activities and theory lemmas persist for the next call.
         """
         assumed = [int(lit) for lit in assumptions]
         for lit in assumed:
             if lit == 0:
                 raise ValueError("0 is not a literal")
             self.ensure_vars(abs(lit))
+        self.stop_reason = None
+        self._deadline = deadline
+        self._interrupt = interrupt
+        if self.share_max_lbd is not None and self.share_var_cap is None:
+            # Input-safe export cap: variables allocated so far are numbered
+            # deterministically across workers running the same script.
+            self.share_var_cap = self._num_vars
         self._failed_assumptions = None
         if self._unsat:
             self._failed_assumptions = ()
@@ -1082,12 +1231,29 @@ class Solver:
             self._failed_assumptions = ()
             self._proof_conclude(())
             return UNSAT
+        try:
+            return self._search(conflict_limit, assumed)
+        except BaseException:
+            # KeyboardInterrupt / SIGTERM-raised exceptions can land at any
+            # bytecode boundary mid-search.  Unwind to the assumption-free
+            # root so the solver (and its owning engine) stays reusable —
+            # the next solve() answers the same query correctly.
+            self._cancel_until(0)
+            raise
+
+    def _search(self, conflict_limit: Optional[int], assumed: list[int]) -> str:
+        """CDCL search loop; factored out so :meth:`solve` can guarantee
+        the level-0 unwind on abnormal exits."""
         conflicts = 0
         restarts = 0
-        restart_limit = RESTART_BASE * luby(1)
+        restart_limit = self._restart_interval(0)
         conflicts_since_restart = 0
         max_learnts = max(len(self._clauses) // 3, 100)
         pending = NO_CLAUSE
+        rng = self._rng
+        random_decision_freq = self.config.random_decision_freq
+        random_polarity_freq = self.config.random_polarity_freq
+        decisions_since_poll = 0
         while True:
             conflict = pending if pending != NO_CLAUSE else self._propagate()
             pending = NO_CLAUSE
@@ -1122,27 +1288,46 @@ class Solver:
                 # (see :meth:`_reduce_db`), so LBD is observability-only —
                 # computed when an event log is listening.
                 lbd = 0
-                if self.events is not None:
+                if self.events is not None or self.share_max_lbd is not None:
                     lbd = len({self._levels[abs(q)] for q in learnt})
+                if self.events is not None:
                     self.events.emit(
                         "learn", size=len(learnt), lbd=lbd, backjump=backtrack_level
                     )
                 self._cancel_until(backtrack_level)
                 self._record(learnt, lbd)
-                self._var_inc *= _VAR_DECAY
+                self._var_inc *= self._var_decay_mult
                 self._cla_inc *= _CLA_DECAY
                 if conflict_limit is not None and conflicts >= conflict_limit:
+                    self.stop_reason = "conflict-limit"
+                    self._cancel_until(0)
+                    return UNKNOWN
+                stop = self._budget_stop()
+                if stop is not None:
+                    self.stop_reason = stop
                     self._cancel_until(0)
                     return UNKNOWN
                 continue
             if conflicts_since_restart >= restart_limit:
                 restarts += 1
                 conflicts_since_restart = 0
-                restart_limit = RESTART_BASE * luby(restarts + 1)
+                restart_limit = self._restart_interval(restarts)
                 self.stats["restarts"] += 1
                 if self.events is not None:
                     self.events.emit("restart", conflicts=conflicts)
                 self._cancel_until(0)
+                stop = self._budget_stop()
+                if stop is not None:
+                    self.stop_reason = stop
+                    return UNKNOWN
+                if self.on_restart is not None:
+                    # Portfolio hook: drain/import shared clauses while the
+                    # trail is at level 0, where imports are always sound.
+                    self.on_restart(self)
+                    if self._unsat:
+                        self._failed_assumptions = ()
+                        self._proof_conclude(())
+                        return UNSAT
                 continue
             if len(self._learnts) - len(self._trail) >= max_learnts:
                 self._reduce_db()
@@ -1159,9 +1344,21 @@ class Solver:
                 if value == 0:
                     self._assign(lit, NO_CLAUSE)
                 continue
-            var = self._decide()
+            var = 0
+            if rng is not None and random_decision_freq > 0.0:
+                if rng.random() < random_decision_freq:
+                    var = self._random_unassigned(rng)
+                    if var:
+                        self.stats["random_decisions"] += 1
+            if var == 0:
+                var = self._decide()
             if var == 0:
                 if self.theory is not None:
+                    stop = self._budget_stop()
+                    if stop is not None:
+                        self.stop_reason = stop
+                        self._cancel_until(0)
+                        return UNKNOWN
                     num_vars_before = self._num_vars
                     conflict = self._theory_check(final=True)
                     if self._unsat:
@@ -1181,11 +1378,28 @@ class Solver:
                 ]
                 self._cancel_until(0)
                 return SAT
+            decisions_since_poll += 1
+            if decisions_since_poll >= 256:
+                # Conflict-free stretches (easy satisfiable instances) would
+                # otherwise never see the deadline/cancel flag.
+                decisions_since_poll = 0
+                stop = self._budget_stop()
+                if stop is not None:
+                    self.stop_reason = stop
+                    self._cancel_until(0)
+                    return UNKNOWN
             self.stats["decisions"] += 1
             if self.events is not None:
                 self.events.emit("decision", var=var, level=len(self._trail_lim) + 1)
             self._trail_lim.append(len(self._trail))
-            self._assign(var if self._phase[var] else -var, NO_CLAUSE)
+            phase = self._phase[var]
+            if (
+                rng is not None
+                and random_polarity_freq > 0.0
+                and rng.random() < random_polarity_freq
+            ):
+                phase = rng.getrandbits(1)
+            self._assign(var if phase else -var, NO_CLAUSE)
 
 
 __all__ = [
